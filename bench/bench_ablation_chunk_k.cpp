@@ -1,0 +1,26 @@
+// Ablation: chunk size k. The paper fixes k = 16; this sweep shows the
+// trade-off — small k creates few holes (little replication headroom),
+// large k wastes slots on holes that cannot all be filled.
+#include "harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace graffix;
+  const bench::BenchOptions options = bench::parse_args(argc, argv);
+
+  const std::vector<double> chunk_sizes{2, 4, 8, 16, 32};
+  const std::vector<core::Algorithm> algorithms{core::Algorithm::SSSP,
+                                                core::Algorithm::PR,
+                                                core::Algorithm::BC};
+  const auto points = bench::run_threshold_sweep(
+      options, algorithms, chunk_sizes, [](Pipeline& pipeline, double k) {
+        transform::CoalescingKnobs knobs;
+        knobs.chunk_size = static_cast<std::uint32_t>(k);
+        knobs.connectedness_threshold = 0.6;
+        pipeline.apply_coalescing(knobs);
+      });
+  bench::print_sweep_table(
+      "Ablation | Varying chunk size k (paper fixes 16), rmat26, scale " +
+          std::to_string(options.scale),
+      "Chunk size k", points);
+  return 0;
+}

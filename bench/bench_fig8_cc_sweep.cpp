@@ -1,0 +1,28 @@
+// Figure 8: speedup and inaccuracy vs the clustering-coefficient
+// threshold of the shared-memory technique, on the rmat26 preset.
+// Paper shape: speedup grows with the threshold then drops near 1 (too
+// few resident nodes); inaccuracy rises to a peak (~0.8 in the paper)
+// then falls as fewer edges need inserting.
+#include "harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace graffix;
+  const bench::BenchOptions options = bench::parse_args(argc, argv);
+
+  const std::vector<double> thresholds{0.15, 0.25, 0.35, 0.45,
+                                       0.60, 0.80, 0.95};
+  const std::vector<core::Algorithm> algorithms{
+      core::Algorithm::SSSP, core::Algorithm::PR, core::Algorithm::BC};
+  const auto points = bench::run_threshold_sweep(
+      options, algorithms, thresholds, [](Pipeline& pipeline, double t) {
+        transform::LatencyKnobs knobs;
+        knobs.cc_threshold = t;
+        knobs.near_delta = 0.25;
+        pipeline.apply_latency(knobs);
+      });
+  bench::print_sweep_table(
+      "Figure 8 | Varying the clustering-coefficient threshold, rmat26, "
+      "scale " + std::to_string(options.scale),
+      "CC threshold", points);
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Figure 9: speedup and inaccuracy vs the degreeSim threshold of the
+// divergence technique, on the rmat26 preset. Paper shape: speedup peaks
+// around 0.3 then declines as the added-edge volume starts dominating;
+// inaccuracy rises monotonically with the threshold.
+#include "harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace graffix;
+  const bench::BenchOptions options = bench::parse_args(argc, argv);
+
+  const std::vector<double> thresholds{0.1, 0.2, 0.3, 0.4, 0.5, 0.6};
+  const std::vector<core::Algorithm> algorithms{
+      core::Algorithm::SSSP, core::Algorithm::PR, core::Algorithm::BC};
+  const auto points = bench::run_threshold_sweep(
+      options, algorithms, thresholds, [](Pipeline& pipeline, double t) {
+        transform::DivergenceKnobs knobs;
+        knobs.degree_sim_threshold = t;
+        pipeline.apply_divergence(knobs);
+      });
+  bench::print_sweep_table(
+      "Figure 9 | Varying the degreeSim threshold, rmat26, scale " +
+          std::to_string(options.scale),
+      "degreeSim threshold", points);
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Table 10: the latency technique vs the exact tigr-like
+// baseline, restricted to the algorithms the paper reports for it
+// (SSSP, PR, BC). Paper geomean: 1.19x at 12% inaccuracy.
+#include "harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace graffix;
+  const bench::BenchOptions options = bench::parse_args(argc, argv);
+  core::ExperimentConfig config = bench::make_config(
+      options, Technique::Latency, baselines::BaselineId::TigrLike);
+  config.algorithms = {core::Algorithm::SSSP, core::Algorithm::PR,
+                       core::Algorithm::BC};
+  const auto rows = core::run_table(config);
+  bench::print_experiment_table(
+      "Table 10 | Effect of latency vs TigrLike (scale " +
+          std::to_string(options.scale) + ")",
+      rows, /*paper_speedup=*/1.19, /*paper_inaccuracy_pct=*/12.0);
+  return 0;
+}

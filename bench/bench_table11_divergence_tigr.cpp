@@ -1,0 +1,19 @@
+// Table 11: the divergence technique vs the exact tigr-like
+// baseline, restricted to the algorithms the paper reports for it
+// (SSSP, PR, BC). Paper geomean: 1.03x at 8% inaccuracy.
+#include "harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace graffix;
+  const bench::BenchOptions options = bench::parse_args(argc, argv);
+  core::ExperimentConfig config = bench::make_config(
+      options, Technique::Divergence, baselines::BaselineId::TigrLike);
+  config.algorithms = {core::Algorithm::SSSP, core::Algorithm::PR,
+                       core::Algorithm::BC};
+  const auto rows = core::run_table(config);
+  bench::print_experiment_table(
+      "Table 11 | Effect of divergence vs TigrLike (scale " +
+          std::to_string(options.scale) + ")",
+      rows, /*paper_speedup=*/1.03, /*paper_inaccuracy_pct=*/8.0);
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Table 14: the divergence technique vs the exact gunrock-like
+// baseline, restricted to the algorithms the paper reports for it
+// (SSSP, PR, BC). Paper geomean: 1.07x at 8% inaccuracy.
+#include "harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace graffix;
+  const bench::BenchOptions options = bench::parse_args(argc, argv);
+  core::ExperimentConfig config = bench::make_config(
+      options, Technique::Divergence, baselines::BaselineId::GunrockLike);
+  config.algorithms = {core::Algorithm::SSSP, core::Algorithm::PR,
+                       core::Algorithm::BC};
+  const auto rows = core::run_table(config);
+  bench::print_experiment_table(
+      "Table 14 | Effect of divergence vs GunrockLike (scale " +
+          std::to_string(options.scale) + ")",
+      rows, /*paper_speedup=*/1.07, /*paper_inaccuracy_pct=*/8.0);
+  return 0;
+}

@@ -1,0 +1,21 @@
+// Table 2: exact execution times of Baseline-I (the LonestarGPU-family
+// topology-driven implementations) for all five algorithms on the five
+// suite graphs. Absolute seconds are simulated-device time (see
+// DESIGN.md); the *relative* pattern is the reproduction target — e.g.
+// topology-driven SSSP blowing up on USA-road, MST and BC dominating.
+#include "harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace graffix;
+  const bench::BenchOptions options = bench::parse_args(argc, argv);
+  core::ExperimentConfig config = bench::make_config(
+      options, Technique::None, baselines::BaselineId::TopologyDriven);
+  const auto rows = core::run_exact_table(config);
+  bench::print_exact_table(
+      "Table 2 | Baseline-I exact times (simulated seconds, scale " +
+          std::to_string(options.scale) + ")",
+      rows,
+      /*bc_scale_factor=*/static_cast<double>(1u << options.scale) /
+          options.bc_sources);
+  return 0;
+}

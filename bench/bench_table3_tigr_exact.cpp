@@ -1,0 +1,22 @@
+// Table 3: exact execution times of the Tigr-like baseline (virtual node
+// splitting + edge-array coalescing + data-driven frontiers) for the
+// three algorithms the paper reports for Tigr (SSSP, PR, BC). Expected
+// shape: fastest baseline across the board.
+#include "harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace graffix;
+  const bench::BenchOptions options = bench::parse_args(argc, argv);
+  core::ExperimentConfig config = bench::make_config(
+      options, Technique::None, baselines::BaselineId::TigrLike);
+  config.algorithms = {core::Algorithm::SSSP, core::Algorithm::PR,
+                       core::Algorithm::BC};
+  const auto rows = core::run_exact_table(config);
+  bench::print_exact_table(
+      "Table 3 | Tigr exact times (simulated seconds, scale " +
+          std::to_string(options.scale) + ")",
+      rows,
+      /*bc_scale_factor=*/static_cast<double>(1u << options.scale) /
+          options.bc_sources);
+  return 0;
+}

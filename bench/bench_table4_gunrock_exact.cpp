@@ -1,0 +1,21 @@
+// Table 4: exact execution times of the Gunrock-like baseline
+// (data-driven frontiers with an explicit filter kernel) for SSSP, PR
+// and BC. Expected shape: between Baseline-I and Tigr.
+#include "harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace graffix;
+  const bench::BenchOptions options = bench::parse_args(argc, argv);
+  core::ExperimentConfig config = bench::make_config(
+      options, Technique::None, baselines::BaselineId::GunrockLike);
+  config.algorithms = {core::Algorithm::SSSP, core::Algorithm::PR,
+                       core::Algorithm::BC};
+  const auto rows = core::run_exact_table(config);
+  bench::print_exact_table(
+      "Table 4 | Gunrock exact times (simulated seconds, scale " +
+          std::to_string(options.scale) + ")",
+      rows,
+      /*bc_scale_factor=*/static_cast<double>(1u << options.scale) /
+          options.bc_sources);
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Table 5: preprocessing overhead (wall-clock transform time + extra
+// space) for each technique on each suite graph. Unlike the simulated
+// execution times, the seconds here are REAL host time of this repo's
+// transform implementations.
+#include "harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace graffix;
+  const bench::BenchOptions options = bench::parse_args(argc, argv);
+
+  struct Section {
+    Technique technique;
+    const char* title;
+  };
+  const Section sections[] = {
+      {Technique::Coalescing, "Improving coalescing"},
+      {Technique::Latency, "Reducing latency"},
+      {Technique::Divergence, "Reducing thread divergence"},
+  };
+  for (const auto& section : sections) {
+    core::ExperimentConfig config = bench::make_config(
+        options, section.technique, baselines::BaselineId::TopologyDriven);
+    const auto rows = core::run_preprocessing(config);
+    bench::print_preprocessing_table(
+        std::string("Table 5 | ") + section.title + " (scale " +
+            std::to_string(options.scale) + ", wall-clock)",
+        rows);
+  }
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Table 6: the memory-coalescing technique (§2) vs exact Baseline-I,
+// all five algorithms x five graphs. Paper geomean: 1.16x speedup at 10%
+// inaccuracy.
+#include "harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace graffix;
+  const bench::BenchOptions options = bench::parse_args(argc, argv);
+  core::ExperimentConfig config = bench::make_config(
+      options, Technique::Coalescing, baselines::BaselineId::TopologyDriven);
+  const auto rows = core::run_table(config);
+  bench::print_experiment_table(
+      "Table 6 | Effect of memory coalescing vs Baseline-I (scale " +
+          std::to_string(options.scale) + ")",
+      rows, /*paper_speedup=*/1.16, /*paper_inaccuracy_pct=*/10.0);
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Table 7: the shared-memory / latency technique (§3) vs exact
+// Baseline-I. Paper geomean: 1.20x at 13% inaccuracy (the largest
+// speedups of the three techniques).
+#include "harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace graffix;
+  const bench::BenchOptions options = bench::parse_args(argc, argv);
+  core::ExperimentConfig config = bench::make_config(
+      options, Technique::Latency, baselines::BaselineId::TopologyDriven);
+  const auto rows = core::run_table(config);
+  bench::print_experiment_table(
+      "Table 7 | Effect of shared memory vs Baseline-I (scale " +
+          std::to_string(options.scale) + ")",
+      rows, /*paper_speedup=*/1.20, /*paper_inaccuracy_pct=*/13.0);
+  return 0;
+}

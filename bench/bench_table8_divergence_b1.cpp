@@ -1,0 +1,16 @@
+// Table 8: the thread-divergence technique (§4) vs exact Baseline-I.
+// Paper geomean: 1.07x at 8% inaccuracy (the smallest of the three).
+#include "harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace graffix;
+  const bench::BenchOptions options = bench::parse_args(argc, argv);
+  core::ExperimentConfig config = bench::make_config(
+      options, Technique::Divergence, baselines::BaselineId::TopologyDriven);
+  const auto rows = core::run_table(config);
+  bench::print_experiment_table(
+      "Table 8 | Effect of thread divergence vs Baseline-I (scale " +
+          std::to_string(options.scale) + ")",
+      rows, /*paper_speedup=*/1.07, /*paper_inaccuracy_pct=*/8.0);
+  return 0;
+}

@@ -1,0 +1,252 @@
+#include "harness.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "algorithms/bc.hpp"
+#include "util/logging.hpp"
+
+namespace graffix::bench {
+
+BenchOptions parse_args(int argc, char** argv) {
+  BenchOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto next_value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(arg, "--scale") == 0) {
+      options.scale = static_cast<std::uint32_t>(std::atoi(next_value()));
+    } else if (std::strcmp(arg, "--seed") == 0) {
+      options.seed = static_cast<std::uint64_t>(std::atoll(next_value()));
+    } else if (std::strcmp(arg, "--bc-sources") == 0) {
+      options.bc_sources = static_cast<std::uint32_t>(std::atoi(next_value()));
+    } else if (std::strcmp(arg, "--quick") == 0) {
+      options.scale = 9;
+      options.bc_sources = 2;
+    } else if (std::strcmp(arg, "--verbose") == 0) {
+      options.verbose = true;
+      set_log_level(LogLevel::Info);
+    } else if (std::strcmp(arg, "--help") == 0) {
+      std::printf(
+          "usage: %s [--scale N] [--seed S] [--bc-sources K] [--quick] "
+          "[--verbose]\n",
+          argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s (try --help)\n", arg);
+      std::exit(2);
+    }
+  }
+  return options;
+}
+
+core::ExperimentConfig make_config(const BenchOptions& options,
+                                   Technique technique,
+                                   baselines::BaselineId baseline) {
+  core::ExperimentConfig config;
+  config.scale = options.scale;
+  config.seed = options.seed;
+  config.bc_sources = options.bc_sources;
+  config.technique = technique;
+  config.baseline = baseline;
+  return config;
+}
+
+void print_experiment_table(const std::string& title,
+                            const std::vector<core::ExperimentRow>& rows,
+                            double paper_speedup,
+                            double paper_inaccuracy_pct) {
+  std::printf("\n%s\n", title.c_str());
+  metrics::Table table({"Algo", "Graph", "Speedup", "Inaccuracy"});
+  core::Algorithm last = rows.empty() ? core::Algorithm::SSSP
+                                      : rows.front().algorithm;
+  for (const auto& row : rows) {
+    if (row.algorithm != last) {
+      table.add_rule();
+      last = row.algorithm;
+    }
+    table.add_row({core::algorithm_name(row.algorithm), row.graph,
+                   metrics::Table::speedup(row.speedup),
+                   metrics::Table::pct(row.inaccuracy_pct, 1)});
+  }
+  table.add_rule();
+  const auto summary = core::summarize(rows);
+  table.add_row({"", "Geomean", metrics::Table::speedup(summary.speedup),
+                 metrics::Table::pct(summary.inaccuracy_pct, 1)});
+  table.add_row({"", "Paper", metrics::Table::speedup(paper_speedup),
+                 metrics::Table::pct(paper_inaccuracy_pct, 1)});
+  table.print();
+}
+
+void print_exact_table(const std::string& title,
+                       const std::vector<core::ExperimentRow>& rows,
+                       double bc_scale_factor) {
+  std::printf("\n%s\n", title.c_str());
+  // Columns in paper order; collect per-graph rows.
+  std::vector<std::string> graphs;
+  for (const auto& row : rows) {
+    if (graphs.empty() || graphs.back() != row.graph) {
+      bool seen = false;
+      for (const auto& g : graphs) seen = seen || g == row.graph;
+      if (!seen) graphs.push_back(row.graph);
+    }
+  }
+  std::vector<core::Algorithm> algos;
+  for (const auto& row : rows) {
+    bool seen = false;
+    for (auto a : algos) seen = seen || a == row.algorithm;
+    if (!seen) algos.push_back(row.algorithm);
+  }
+  std::vector<std::string> headers{"Graph"};
+  for (auto a : algos) {
+    std::string header = std::string(core::algorithm_name(a)) + " (s)";
+    if (a == core::Algorithm::BC && bc_scale_factor > 1.0) {
+      header = "BC (s, full-BC est.)";
+    }
+    headers.push_back(std::move(header));
+  }
+  metrics::Table table(std::move(headers));
+  for (const auto& g : graphs) {
+    std::vector<std::string> cells{g};
+    for (auto a : algos) {
+      double seconds = 0.0;
+      for (const auto& row : rows) {
+        if (row.graph == g && row.algorithm == a) seconds = row.exact_seconds;
+      }
+      if (a == core::Algorithm::BC) seconds *= bc_scale_factor;
+      cells.push_back(metrics::Table::num(seconds, 5));
+    }
+    table.add_row(std::move(cells));
+  }
+  table.print();
+}
+
+void print_preprocessing_table(const std::string& title,
+                               const std::vector<core::PreprocessReport>& rows) {
+  std::printf("\n%s\n", title.c_str());
+  metrics::Table table({"Graph", "Time (s)", "Extra space", "Edges added"});
+  for (const auto& row : rows) {
+    table.add_row({row.graph, metrics::Table::num(row.seconds, 4),
+                   metrics::Table::pct(row.extra_space_pct, 1),
+                   std::to_string(row.edges_added)});
+  }
+  table.print();
+}
+
+namespace {
+
+/// Fixed-width ASCII bar scaled to [lo, hi]; the poor man's Figure 7-9.
+std::string bar(double value, double lo, double hi, std::size_t width = 18) {
+  if (hi <= lo) hi = lo + 1.0;
+  const double t = std::min(1.0, std::max(0.0, (value - lo) / (hi - lo)));
+  const auto filled = static_cast<std::size_t>(t * width + 0.5);
+  return std::string(filled, '#') + std::string(width - filled, '.');
+}
+
+}  // namespace
+
+void print_sweep_table(const std::string& title, const char* knob_name,
+                       const std::vector<SweepPoint>& points) {
+  std::printf("\n%s\n", title.c_str());
+  double speed_lo = 1e9, speed_hi = 0, err_hi = 0;
+  for (const auto& p : points) {
+    speed_lo = std::min(speed_lo, p.speedup);
+    speed_hi = std::max(speed_hi, p.speedup);
+    err_hi = std::max(err_hi, p.inaccuracy_pct);
+  }
+  metrics::Table table({knob_name, "Speedup (geomean)", "",
+                        "Inaccuracy (geomean)", " "});
+  for (const auto& point : points) {
+    table.add_row({metrics::Table::num(point.threshold, 2),
+                   metrics::Table::speedup(point.speedup),
+                   bar(point.speedup, std::min(speed_lo, 1.0), speed_hi),
+                   metrics::Table::pct(point.inaccuracy_pct, 1),
+                   bar(point.inaccuracy_pct, 0.0, err_hi)});
+  }
+  table.print();
+}
+
+std::vector<SweepPoint> run_threshold_sweep(
+    const BenchOptions& options,
+    const std::vector<core::Algorithm>& algorithms,
+    const std::vector<double>& thresholds,
+    const std::function<void(Pipeline&, double)>& apply) {
+  using core::Algorithm;
+  using core::RunConfig;
+  using core::RunOutput;
+
+  Csr graph = make_preset(GraphPreset::Rmat26, options.scale, options.seed);
+  Pipeline pipeline(std::move(graph));
+
+  const NodeId sssp_source = [&] {
+    NodeId best = 0, best_degree = 0;
+    for (NodeId v = 0; v < pipeline.original().num_slots(); ++v) {
+      if (pipeline.original().degree(v) > best_degree) {
+        best = v;
+        best_degree = pipeline.original().degree(v);
+      }
+    }
+    return best;
+  }();
+  const std::vector<NodeId> bc_nodes = sample_bc_sources(
+      pipeline.original(), options.bc_sources, options.seed);
+
+  // One exact run per algorithm, reused across the sweep.
+  std::vector<RunOutput> exact;
+  exact.reserve(algorithms.size());
+  for (Algorithm alg : algorithms) {
+    RunConfig rc;
+    rc.seed = options.seed;
+    rc.sssp_source = sssp_source;
+    rc.bc_sources = bc_nodes;
+    exact.push_back(pipeline.run_exact(alg, rc));
+  }
+
+  std::vector<SweepPoint> points;
+  for (double threshold : thresholds) {
+    apply(pipeline, threshold);
+    std::vector<NodeId> bc_slots(bc_nodes.size());
+    for (std::size_t i = 0; i < bc_nodes.size(); ++i) {
+      bc_slots[i] = pipeline.slot_of_node(bc_nodes[i]);
+    }
+    std::vector<double> speedups, inaccuracies;
+    for (std::size_t i = 0; i < algorithms.size(); ++i) {
+      RunConfig rc;
+      rc.seed = options.seed;
+      rc.sssp_source = pipeline.slot_of_node(sssp_source);
+      rc.bc_sources = bc_slots;
+      const RunOutput approx = pipeline.run(algorithms[i], rc);
+      speedups.push_back(
+          metrics::speedup(exact[i].sim_seconds, approx.sim_seconds));
+      double inaccuracy = 0.0;
+      switch (algorithms[i]) {
+        case Algorithm::SSSP:
+        case Algorithm::PR:
+        case Algorithm::BC: {
+          const auto projected = pipeline.project(approx.attr);
+          inaccuracy =
+              metrics::attribute_error(exact[i].attr, projected).inaccuracy_pct;
+          break;
+        }
+        case Algorithm::SCC:
+        case Algorithm::MST:
+          inaccuracy =
+              metrics::scalar_inaccuracy_pct(exact[i].scalar, approx.scalar);
+          break;
+      }
+      inaccuracies.push_back(std::max(inaccuracy, 0.1));
+    }
+    points.push_back({threshold, metrics::geomean(speedups),
+                      metrics::geomean(inaccuracies)});
+  }
+  return points;
+}
+
+}  // namespace graffix::bench

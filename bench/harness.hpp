@@ -1,0 +1,77 @@
+// Shared bench harness: CLI options and paper-style table rendering.
+//
+// Every table/figure binary parses the same flags so the whole suite can
+// be driven uniformly:
+//   --scale N       graph scale (nodes ~ 2^N); default 11, paper used 26
+//   --seed S        master seed for generators and source sampling
+//   --bc-sources K  sampled BC sources (the paper computes full BC; we
+//                   sample to keep host time sane — see EXPERIMENTS.md)
+//   --quick         scale 9 smoke run (used by `ctest`-adjacent checks)
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "metrics/table.hpp"
+
+namespace graffix::bench {
+
+struct BenchOptions {
+  std::uint32_t scale = 11;
+  std::uint64_t seed = 42;
+  std::uint32_t bc_sources = 4;
+  bool verbose = false;
+};
+
+[[nodiscard]] BenchOptions parse_args(int argc, char** argv);
+
+/// Applies the common options onto an experiment config.
+[[nodiscard]] core::ExperimentConfig make_config(const BenchOptions& options,
+                                                 Technique technique,
+                                                 baselines::BaselineId baseline);
+
+/// Prints one approximate-vs-exact table (Tables 6-14 layout): rows
+/// grouped by algorithm, Speedup and Inaccuracy columns, geomean footer.
+/// `paper_speedup`/`paper_inaccuracy` echo the paper's reported geomeans
+/// for eyeball comparison.
+void print_experiment_table(const std::string& title,
+                            const std::vector<core::ExperimentRow>& rows,
+                            double paper_speedup, double paper_inaccuracy_pct);
+
+/// Prints an exact-times table (Tables 2-4 layout): one row per graph,
+/// one column per algorithm. `bc_scale_factor` > 1 extrapolates the BC
+/// column from the sampled-source run to the paper's full (all-sources)
+/// BC — per-source cost is constant, so the extrapolation is exact up to
+/// frontier-shape variance; the header marks the column.
+void print_exact_table(const std::string& title,
+                       const std::vector<core::ExperimentRow>& rows,
+                       double bc_scale_factor = 1.0);
+
+/// Prints a Table 5-style preprocessing table.
+void print_preprocessing_table(const std::string& title,
+                               const std::vector<core::PreprocessReport>& rows);
+
+/// Prints a Figure 7/8/9-style threshold sweep: one row per threshold with
+/// geomean speedup and inaccuracy columns.
+struct SweepPoint {
+  double threshold = 0.0;
+  double speedup = 0.0;
+  double inaccuracy_pct = 0.0;
+};
+void print_sweep_table(const std::string& title, const char* knob_name,
+                       const std::vector<SweepPoint>& points);
+
+/// Figure 7/8/9 engine: on the rmat26 preset, runs the given algorithms
+/// exactly once (Baseline-I), then for each threshold applies the
+/// transform via `apply` and measures geomean speedup and inaccuracy of
+/// the approximate runs. `apply(pipeline, threshold)` must call one of
+/// the pipeline's apply_* methods.
+[[nodiscard]] std::vector<SweepPoint> run_threshold_sweep(
+    const BenchOptions& options, const std::vector<core::Algorithm>& algorithms,
+    const std::vector<double>& thresholds,
+    const std::function<void(Pipeline&, double)>& apply);
+
+}  // namespace graffix::bench

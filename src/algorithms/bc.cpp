@@ -1,0 +1,113 @@
+#include "algorithms/bc.hpp"
+
+#include <algorithm>
+
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+#include <omp.h>
+
+namespace graffix {
+
+namespace {
+
+/// One Brandes source pass; accumulates dependencies into `bc`.
+void brandes_source(const Csr& graph, NodeId source, std::vector<double>& bc,
+                    std::vector<NodeId>& level, std::vector<double>& sigma,
+                    std::vector<double>& delta, std::vector<NodeId>& order) {
+  const NodeId slots = graph.num_slots();
+  std::fill(level.begin(), level.end(), kInvalidNode);
+  std::fill(sigma.begin(), sigma.end(), 0.0);
+  std::fill(delta.begin(), delta.end(), 0.0);
+  order.clear();
+
+  // Forward pass: BFS DAG with path counts.
+  level[source] = 0;
+  sigma[source] = 1.0;
+  std::size_t head = 0;
+  order.push_back(source);
+  while (head < order.size()) {
+    const NodeId u = order[head++];
+    for (NodeId v : graph.neighbors(u)) {
+      if (level[v] == kInvalidNode) {
+        level[v] = level[u] + 1;
+        order.push_back(v);
+      }
+      if (level[v] == level[u] + 1) {
+        sigma[v] += sigma[u];
+      }
+    }
+  }
+
+  // Backward pass in reverse BFS order: delta accumulation (Eq. 1).
+  for (std::size_t i = order.size(); i-- > 0;) {
+    const NodeId u = order[i];
+    for (NodeId v : graph.neighbors(u)) {
+      if (level[v] == level[u] + 1 && sigma[v] > 0.0) {
+        delta[u] += sigma[u] / sigma[v] * (1.0 + delta[v]);
+      }
+    }
+    if (u != source) bc[u] += delta[u];
+  }
+  (void)slots;
+}
+
+}  // namespace
+
+std::vector<double> betweenness_centrality(const Csr& graph,
+                                           std::span<const NodeId> sources) {
+  const NodeId slots = graph.num_slots();
+  std::vector<double> bc(slots, 0.0);
+
+#pragma omp parallel
+  {
+    std::vector<double> local_bc(slots, 0.0);
+    std::vector<NodeId> level(slots);
+    std::vector<double> sigma(slots);
+    std::vector<double> delta(slots);
+    std::vector<NodeId> order;
+    order.reserve(slots);
+#pragma omp for schedule(dynamic, 1)
+    for (std::int64_t i = 0; i < static_cast<std::int64_t>(sources.size());
+         ++i) {
+      brandes_source(graph, sources[i], local_bc, level, sigma, delta, order);
+    }
+#pragma omp critical
+    {
+      for (NodeId s = 0; s < slots; ++s) bc[s] += local_bc[s];
+    }
+  }
+  return bc;
+}
+
+std::vector<double> betweenness_centrality_all(const Csr& graph) {
+  std::vector<NodeId> sources;
+  const NodeId slots = graph.num_slots();
+  sources.reserve(graph.num_nodes());
+  for (NodeId s = 0; s < slots; ++s) {
+    if (!graph.is_hole(s)) sources.push_back(s);
+  }
+  return betweenness_centrality(graph, sources);
+}
+
+std::vector<NodeId> sample_bc_sources(const Csr& graph, std::size_t count,
+                                      std::uint64_t seed) {
+  std::vector<NodeId> candidates;
+  const NodeId slots = graph.num_slots();
+  for (NodeId s = 0; s < slots; ++s) {
+    if (!graph.is_hole(s) && graph.degree(s) > 0) candidates.push_back(s);
+  }
+  if (candidates.size() <= count) return candidates;
+  Pcg32 rng = make_stream(seed, 0xbc);
+  // Partial Fisher-Yates for the first `count` entries.
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto j =
+        i + rng.next_bounded(static_cast<std::uint32_t>(candidates.size() - i));
+    std::swap(candidates[i], candidates[j]);
+  }
+  candidates.resize(count);
+  std::sort(candidates.begin(), candidates.end());
+  return candidates;
+}
+
+}  // namespace graffix

@@ -1,0 +1,28 @@
+// Betweenness centrality via Brandes' algorithm (host reference),
+// matching the paper's Algorithm 1: per-source forward BFS building the
+// shortest-path DAG (sigma counts), backward dependency accumulation.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace graffix {
+
+/// Exact Brandes BC restricted to the given sources (pass all non-hole
+/// slots for full exact BC). Parallelized over sources with per-thread
+/// accumulators; deterministic.
+[[nodiscard]] std::vector<double> betweenness_centrality(
+    const Csr& graph, std::span<const NodeId> sources);
+
+/// All-sources exact BC (small graphs / tests).
+[[nodiscard]] std::vector<double> betweenness_centrality_all(const Csr& graph);
+
+/// Deterministic source sample used by both exact and approximate BC runs
+/// so that their attribute vectors are comparable (see DESIGN.md).
+[[nodiscard]] std::vector<NodeId> sample_bc_sources(const Csr& graph,
+                                                    std::size_t count,
+                                                    std::uint64_t seed);
+
+}  // namespace graffix

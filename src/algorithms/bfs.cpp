@@ -1,0 +1,40 @@
+#include "algorithms/bfs.hpp"
+
+#include <atomic>
+
+#include "util/bitset.hpp"
+#include "util/macros.hpp"
+#include "util/parallel.hpp"
+
+namespace graffix {
+
+std::vector<NodeId> parallel_bfs(const Csr& graph, NodeId source) {
+  const NodeId slots = graph.num_slots();
+  GRAFFIX_CHECK(source < slots && !graph.is_hole(source), "bad source %u",
+                source);
+  std::vector<NodeId> level(slots, kInvalidNode);
+  level[source] = 0;
+  std::vector<NodeId> frontier{source};
+  AtomicBitset next_mask(slots);
+  NodeId depth = 0;
+  while (!frontier.empty()) {
+    ++depth;
+    next_mask.clear();
+    parallel_for_dynamic(std::size_t{0}, frontier.size(), [&](std::size_t i) {
+      const NodeId u = frontier[i];
+      for (NodeId v : graph.neighbors(u)) {
+        if (level[v] == kInvalidNode && next_mask.set(v)) {
+          level[v] = depth;
+        }
+      }
+    });
+    std::vector<NodeId> next;
+    for (NodeId s = 0; s < slots; ++s) {
+      if (next_mask.test(s)) next.push_back(s);
+    }
+    frontier.swap(next);
+  }
+  return level;
+}
+
+}  // namespace graffix

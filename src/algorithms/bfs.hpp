@@ -1,0 +1,14 @@
+// Parallel breadth-first search (host reference).
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace graffix {
+
+/// Level-synchronous parallel BFS over out-edges. Unreachable slots and
+/// holes end at kInvalidNode.
+[[nodiscard]] std::vector<NodeId> parallel_bfs(const Csr& graph, NodeId source);
+
+}  // namespace graffix

@@ -1,0 +1,146 @@
+#include "algorithms/mst.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+
+#include "util/macros.hpp"
+#include "util/parallel.hpp"
+
+namespace graffix {
+
+namespace {
+
+struct UnionFind {
+  std::vector<NodeId> parent;
+
+  explicit UnionFind(NodeId n) : parent(n) {
+    std::iota(parent.begin(), parent.end(), NodeId{0});
+  }
+
+  NodeId find(NodeId x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  }
+
+  bool unite(NodeId a, NodeId b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    if (a < b) std::swap(a, b);
+    parent[a] = b;
+    return true;
+  }
+};
+
+struct UEdge {
+  NodeId u, v;
+  Weight w;
+};
+
+std::vector<UEdge> undirected_edges(const Csr& graph) {
+  std::vector<UEdge> edges;
+  edges.reserve(graph.num_edges());
+  const NodeId slots = graph.num_slots();
+  for (NodeId u = 0; u < slots; ++u) {
+    const auto nbrs = graph.neighbors(u);
+    const bool weighted = graph.has_weights();
+    const auto wts =
+        weighted ? graph.edge_weights(u) : std::span<const Weight>{};
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const NodeId v = nbrs[i];
+      if (v == u) continue;
+      edges.push_back({u, v, weighted ? wts[i] : Weight{1}});
+    }
+  }
+  return edges;
+}
+
+}  // namespace
+
+MstResult mst_kruskal(const Csr& graph) {
+  const NodeId slots = graph.num_slots();
+  auto edges = undirected_edges(graph);
+  std::sort(edges.begin(), edges.end(), [](const UEdge& a, const UEdge& b) {
+    if (a.w != b.w) return a.w < b.w;
+    if (a.u != b.u) return a.u < b.u;
+    return a.v < b.v;
+  });
+
+  UnionFind uf(slots);
+  MstResult result;
+  for (const UEdge& e : edges) {
+    if (uf.unite(e.u, e.v)) {
+      result.total_weight += e.w;
+      ++result.edges_in_forest;
+    }
+  }
+  NodeId roots = 0;
+  for (NodeId s = 0; s < slots; ++s) {
+    if (!graph.is_hole(s) && uf.find(s) == s) ++roots;
+  }
+  result.components = roots;
+  return result;
+}
+
+MstResult mst_boruvka(const Csr& graph) {
+  const NodeId slots = graph.num_slots();
+  auto edges = undirected_edges(graph);
+
+  std::vector<NodeId> comp(slots);
+  std::iota(comp.begin(), comp.end(), NodeId{0});
+
+  MstResult result;
+  bool merged = true;
+  while (merged) {
+    merged = false;
+    // Minimum outgoing edge per component. Ties broken by (w, u, v) for
+    // determinism.
+    struct Best {
+      Weight w = kInfWeight;
+      NodeId u = kInvalidNode;
+      NodeId v = kInvalidNode;
+    };
+    std::vector<Best> best(slots);
+    for (const UEdge& e : edges) {
+      const NodeId cu = comp[e.u];
+      const NodeId cv = comp[e.v];
+      if (cu == cv) continue;
+      auto better = [](const UEdge& edge, const Best& cur) {
+        if (edge.w != cur.w) return edge.w < cur.w;
+        if (edge.u != cur.u) return edge.u < cur.u;
+        return edge.v < cur.v;
+      };
+      if (better(e, best[cu])) best[cu] = {e.w, e.u, e.v};
+      if (better(e, best[cv])) best[cv] = {e.w, e.u, e.v};
+    }
+    // Hook: add each component's best edge (deduplicating the symmetric
+    // pair via union-find semantics on comp labels).
+    UnionFind uf(slots);
+    for (NodeId s = 0; s < slots; ++s) uf.parent[s] = comp[s];
+    for (NodeId c = 0; c < slots; ++c) {
+      if (best[c].u == kInvalidNode) continue;
+      if (uf.unite(best[c].u, best[c].v)) {
+        result.total_weight += best[c].w;
+        ++result.edges_in_forest;
+        merged = true;
+      }
+    }
+    if (!merged) break;
+    // Compress labels.
+    parallel_for(NodeId{0}, slots, [&](NodeId s) { comp[s] = uf.find(s); });
+  }
+
+  NodeId roots = 0;
+  for (NodeId s = 0; s < slots; ++s) {
+    if (!graph.is_hole(s) && comp[s] == s) ++roots;
+  }
+  // Count components properly (labels may not be self-rooted for holes).
+  result.components = roots;
+  return result;
+}
+
+}  // namespace graffix

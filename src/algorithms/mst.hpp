@@ -1,0 +1,27 @@
+// Minimum spanning tree / forest (host references): Kruskal with
+// union-find for exact ground truth, and parallel Borůvka mirroring the
+// LonestarGPU-style device algorithm. The input directed graph is
+// interpreted as undirected (each arc is an undirected candidate edge),
+// matching how the paper's MST baseline consumes the shared inputs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace graffix {
+
+struct MstResult {
+  double total_weight = 0.0;
+  EdgeId edges_in_forest = 0;
+  NodeId components = 0;  // trees in the forest (isolated nodes included)
+};
+
+/// Serial Kruskal. Exact.
+[[nodiscard]] MstResult mst_kruskal(const Csr& graph);
+
+/// Parallel Borůvka (minimum edge per component + hooking + compression).
+[[nodiscard]] MstResult mst_boruvka(const Csr& graph);
+
+}  // namespace graffix

@@ -1,0 +1,27 @@
+// PageRank power iteration (host reference).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace graffix {
+
+struct PagerankParams {
+  double damping = 0.85;
+  double tolerance = 1e-7;      // L1 delta convergence threshold
+  std::uint32_t max_iterations = 100;
+};
+
+struct PagerankResult {
+  std::vector<double> rank;  // per slot; holes get 0
+  std::uint32_t iterations = 0;
+};
+
+/// Pull-based power iteration. Dangling mass is redistributed uniformly,
+/// so ranks sum to 1 over non-hole slots.
+[[nodiscard]] PagerankResult pagerank(const Csr& graph,
+                                      const PagerankParams& params = {});
+
+}  // namespace graffix

@@ -1,0 +1,194 @@
+#include "algorithms/scc.hpp"
+
+#include <algorithm>
+
+#include "util/macros.hpp"
+#include "util/parallel.hpp"
+
+namespace graffix {
+
+SccResult scc_tarjan(const Csr& graph) {
+  const NodeId slots = graph.num_slots();
+  SccResult result;
+  result.component.assign(slots, kInvalidNode);
+
+  // Iterative Tarjan with an explicit frame stack.
+  std::vector<NodeId> index(slots, kInvalidNode);
+  std::vector<NodeId> lowlink(slots, 0);
+  std::vector<std::uint8_t> on_stack(slots, 0);
+  std::vector<NodeId> stack;
+  struct Frame {
+    NodeId node;
+    EdgeId next_edge;
+  };
+  std::vector<Frame> frames;
+  NodeId next_index = 0;
+
+  for (NodeId root = 0; root < slots; ++root) {
+    if (graph.is_hole(root) || index[root] != kInvalidNode) continue;
+    frames.push_back({root, graph.edge_begin(root)});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = 1;
+
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      const NodeId u = frame.node;
+      if (frame.next_edge < graph.edge_end(u)) {
+        const NodeId v = graph.targets()[frame.next_edge++];
+        if (index[v] == kInvalidNode) {
+          index[v] = lowlink[v] = next_index++;
+          stack.push_back(v);
+          on_stack[v] = 1;
+          frames.push_back({v, graph.edge_begin(v)});
+        } else if (on_stack[v]) {
+          lowlink[u] = std::min(lowlink[u], index[v]);
+        }
+      } else {
+        if (lowlink[u] == index[u]) {
+          NodeId member;
+          do {
+            member = stack.back();
+            stack.pop_back();
+            on_stack[member] = 0;
+            result.component[member] = result.count;
+          } while (member != u);
+          ++result.count;
+        }
+        frames.pop_back();
+        if (!frames.empty()) {
+          const NodeId parent = frames.back().node;
+          lowlink[parent] = std::min(lowlink[parent], lowlink[u]);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+namespace {
+
+/// BFS reachability restricted to slots whose region == `region`.
+void reach(const Csr& graph, NodeId pivot, const std::vector<NodeId>& region,
+           NodeId region_id, std::vector<std::uint8_t>& mark) {
+  std::vector<NodeId> frontier{pivot};
+  mark[pivot] = 1;
+  while (!frontier.empty()) {
+    std::vector<NodeId> next;
+    for (NodeId u : frontier) {
+      for (NodeId v : graph.neighbors(u)) {
+        if (!mark[v] && region[v] == region_id) {
+          mark[v] = 1;
+          next.push_back(v);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+}
+
+}  // namespace
+
+SccResult scc_fw_bw(const Csr& graph) {
+  const NodeId slots = graph.num_slots();
+  const Csr reverse = graph.transpose();
+  SccResult result;
+  result.component.assign(slots, kInvalidNode);
+
+  // region[v]: id of the live subproblem v belongs to; kInvalidNode once
+  // assigned to a component.
+  std::vector<NodeId> region(slots, 0);
+  for (NodeId s = 0; s < slots; ++s) {
+    if (graph.is_hole(s)) region[s] = kInvalidNode;
+  }
+
+  // Trim: repeatedly peel vertices with no in- or out-edges within their
+  // region; each is its own singleton SCC.
+  bool trimmed = true;
+  while (trimmed) {
+    trimmed = false;
+    for (NodeId u = 0; u < slots; ++u) {
+      if (region[u] == kInvalidNode) continue;
+      bool has_out = false;
+      for (NodeId v : graph.neighbors(u)) {
+        if (region[v] == region[u]) {
+          has_out = true;
+          break;
+        }
+      }
+      bool has_in = false;
+      if (has_out) {
+        for (NodeId v : reverse.neighbors(u)) {
+          if (region[v] == region[u]) {
+            has_in = true;
+            break;
+          }
+        }
+      }
+      if (!has_out || !has_in) {
+        result.component[u] = result.count++;
+        region[u] = kInvalidNode;
+        trimmed = true;
+      }
+    }
+  }
+
+  std::vector<NodeId> worklist;
+  for (NodeId s = 0; s < slots; ++s) {
+    if (region[s] == 0) {
+      worklist.push_back(0);
+      break;
+    }
+  }
+  NodeId next_region = 1;
+  std::vector<std::uint8_t> fw(slots), bw(slots);
+  while (!worklist.empty()) {
+    const NodeId region_id = worklist.back();
+    worklist.pop_back();
+    // Find a pivot in this region.
+    NodeId pivot = kInvalidNode;
+    for (NodeId s = 0; s < slots; ++s) {
+      if (region[s] == region_id) {
+        pivot = s;
+        break;
+      }
+    }
+    if (pivot == kInvalidNode) continue;
+
+    std::fill(fw.begin(), fw.end(), 0);
+    std::fill(bw.begin(), bw.end(), 0);
+    reach(graph, pivot, region, region_id, fw);
+    reach(reverse, pivot, region, region_id, bw);
+
+    const NodeId scc_label = result.count++;
+    NodeId r_fw = kInvalidNode, r_bw = kInvalidNode, r_rest = kInvalidNode;
+    for (NodeId s = 0; s < slots; ++s) {
+      if (region[s] != region_id) continue;
+      if (fw[s] && bw[s]) {
+        result.component[s] = scc_label;
+        region[s] = kInvalidNode;
+      } else if (fw[s]) {
+        if (r_fw == kInvalidNode) {
+          r_fw = next_region++;
+          worklist.push_back(r_fw);
+        }
+        region[s] = r_fw;
+      } else if (bw[s]) {
+        if (r_bw == kInvalidNode) {
+          r_bw = next_region++;
+          worklist.push_back(r_bw);
+        }
+        region[s] = r_bw;
+      } else {
+        if (r_rest == kInvalidNode) {
+          r_rest = next_region++;
+          worklist.push_back(r_rest);
+        }
+        region[s] = r_rest;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace graffix

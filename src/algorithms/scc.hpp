@@ -1,0 +1,24 @@
+// Strongly connected components (host references): iterative Tarjan for
+// exact ground truth, plus a parallel FW-BW-Trim implementation mirroring
+// the Hong et al. style algorithm the paper's SCC baseline uses.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace graffix {
+
+struct SccResult {
+  std::vector<NodeId> component;  // per-slot component label; holes invalid
+  NodeId count = 0;
+};
+
+/// Iterative Tarjan. Exact, serial.
+[[nodiscard]] SccResult scc_tarjan(const Csr& graph);
+
+/// Forward-Backward with trimming. Exact, host-parallel BFS reachability.
+[[nodiscard]] SccResult scc_fw_bw(const Csr& graph);
+
+}  // namespace graffix

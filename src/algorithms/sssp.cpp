@@ -1,0 +1,80 @@
+#include "algorithms/sssp.hpp"
+
+#include <atomic>
+#include <queue>
+
+#include "util/macros.hpp"
+#include "util/parallel.hpp"
+
+namespace graffix {
+
+std::vector<Weight> sssp_dijkstra(const Csr& graph, NodeId source) {
+  const NodeId slots = graph.num_slots();
+  GRAFFIX_CHECK(source < slots && !graph.is_hole(source), "bad source %u",
+                source);
+  std::vector<Weight> dist(slots, kInfWeight);
+  dist[source] = 0;
+  using Entry = std::pair<Weight, NodeId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  heap.push({0, source});
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[u]) continue;
+    const auto nbrs = graph.neighbors(u);
+    const bool weighted = graph.has_weights();
+    const auto wts = weighted ? graph.edge_weights(u) : std::span<const Weight>{};
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const Weight w = weighted ? wts[i] : Weight{1};
+      const Weight nd = d + w;
+      if (nd < dist[nbrs[i]]) {
+        dist[nbrs[i]] = nd;
+        heap.push({nd, nbrs[i]});
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<Weight> sssp_bellman_ford(const Csr& graph, NodeId source,
+                                      std::uint32_t max_rounds) {
+  const NodeId slots = graph.num_slots();
+  GRAFFIX_CHECK(source < slots && !graph.is_hole(source), "bad source %u",
+                source);
+  if (max_rounds == 0) max_rounds = slots + 1;
+  // Atomic-min relaxation on float bit patterns (non-negative floats
+  // preserve order as unsigned integers).
+  std::vector<std::atomic<Weight>> dist(slots);
+  for (auto& d : dist) d.store(kInfWeight, std::memory_order_relaxed);
+  dist[source].store(0, std::memory_order_relaxed);
+
+  std::atomic<bool> changed{true};
+  for (std::uint32_t round = 0; round < max_rounds && changed.load(); ++round) {
+    changed.store(false, std::memory_order_relaxed);
+    parallel_for_dynamic(NodeId{0}, slots, [&](NodeId u) {
+      if (graph.is_hole(u)) return;
+      const Weight du = dist[u].load(std::memory_order_relaxed);
+      if (du == kInfWeight) return;
+      const auto nbrs = graph.neighbors(u);
+      const bool weighted = graph.has_weights();
+      const auto wts =
+          weighted ? graph.edge_weights(u) : std::span<const Weight>{};
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        const Weight nd = du + (weighted ? wts[i] : Weight{1});
+        Weight cur = dist[nbrs[i]].load(std::memory_order_relaxed);
+        while (nd < cur) {
+          if (dist[nbrs[i]].compare_exchange_weak(cur, nd,
+                                                  std::memory_order_relaxed)) {
+            changed.store(true, std::memory_order_relaxed);
+            break;
+          }
+        }
+      }
+    });
+  }
+  std::vector<Weight> out(slots);
+  for (NodeId s = 0; s < slots; ++s) out[s] = dist[s].load();
+  return out;
+}
+
+}  // namespace graffix

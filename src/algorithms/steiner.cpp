@@ -1,0 +1,68 @@
+#include "algorithms/steiner.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "algorithms/sssp.hpp"
+#include "util/macros.hpp"
+
+namespace graffix {
+
+SteinerResult steiner_2approx(std::span<const NodeId> terminals,
+                              const DistanceOracle& oracle) {
+  SteinerResult result;
+  const std::size_t k = terminals.size();
+  if (k == 0) return result;
+  if (k == 1) {
+    result.connected = true;
+    return result;
+  }
+
+  // Terminal distance matrix: one oracle call per terminal.
+  std::vector<std::vector<double>> dist(k, std::vector<double>(k, 0.0));
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto from_i = oracle(terminals[i]);
+    for (std::size_t j = 0; j < k; ++j) {
+      dist[i][j] = from_i[terminals[j]];
+    }
+  }
+
+  // Prim's MST over the complete terminal graph.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<bool> in_tree(k, false);
+  std::vector<double> best(k, kInf);
+  std::vector<std::size_t> parent(k, k);
+  best[0] = 0.0;
+  std::size_t joined = 0;
+  for (std::size_t round = 0; round < k; ++round) {
+    std::size_t pick = k;
+    for (std::size_t i = 0; i < k; ++i) {
+      if (!in_tree[i] && (pick == k || best[i] < best[pick])) pick = i;
+    }
+    if (pick == k || !std::isfinite(best[pick])) break;
+    in_tree[pick] = true;
+    ++joined;
+    if (parent[pick] != k) {
+      result.cost += best[pick];
+      result.tree_edges.emplace_back(parent[pick], pick);
+    }
+    for (std::size_t i = 0; i < k; ++i) {
+      if (!in_tree[i] && dist[pick][i] < best[i]) {
+        best[i] = dist[pick][i];
+        parent[i] = pick;
+      }
+    }
+  }
+  result.connected = joined == k;
+  return result;
+}
+
+SteinerResult steiner_2approx(const Csr& graph,
+                              std::span<const NodeId> terminals) {
+  return steiner_2approx(terminals, [&](NodeId source) {
+    const auto d = sssp_dijkstra(graph, source);
+    return std::vector<double>(d.begin(), d.end());
+  });
+}
+
+}  // namespace graffix

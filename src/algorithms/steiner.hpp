@@ -1,0 +1,39 @@
+// 2-approximate Steiner tree (Kou, Markowsky & Berman 1981) — the
+// paper's §1 amortization example: the algorithm runs SSSP from every
+// terminal, so preprocessing the graph once with a Graffix transform is
+// amortized across all of them. The library version lets callers plug in
+// any distance oracle (exact Dijkstra by default, or the simulated
+// approximate SSSP as examples/steiner_tree.cpp does).
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace graffix {
+
+struct SteinerResult {
+  /// Total weight of the terminal spanning structure (the 2-approx cost:
+  /// the MST of the terminal distance graph).
+  double cost = 0.0;
+  /// Pairs (terminal index a, terminal index b) of the chosen MST edges.
+  std::vector<std::pair<std::size_t, std::size_t>> tree_edges;
+  /// True when every terminal is reachable from the others.
+  bool connected = false;
+};
+
+/// Distance oracle: full distance vector from one source node.
+using DistanceOracle =
+    std::function<std::vector<double>(NodeId source)>;
+
+/// KMB 2-approximation over the terminal set using the given oracle.
+[[nodiscard]] SteinerResult steiner_2approx(std::span<const NodeId> terminals,
+                                            const DistanceOracle& oracle);
+
+/// Convenience overload: exact Dijkstra on `graph` as the oracle.
+[[nodiscard]] SteinerResult steiner_2approx(const Csr& graph,
+                                            std::span<const NodeId> terminals);
+
+}  // namespace graffix

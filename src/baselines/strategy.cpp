@@ -1,0 +1,119 @@
+#include "baselines/strategy.hpp"
+
+#include "util/macros.hpp"
+
+namespace graffix::baselines {
+
+const char* baseline_name(BaselineId id) {
+  switch (id) {
+    case BaselineId::TopologyDriven:
+      return "Baseline-I";
+    case BaselineId::TigrLike:
+      return "Tigr";
+    case BaselineId::GunrockLike:
+      return "Gunrock";
+  }
+  return "?";
+}
+
+namespace {
+
+class TopologyDriven final : public Strategy {
+ public:
+  [[nodiscard]] BaselineId id() const override {
+    return BaselineId::TopologyDriven;
+  }
+  [[nodiscard]] bool data_driven() const override { return false; }
+  [[nodiscard]] sim::EdgeLoadMode edge_load_mode() const override {
+    return sim::EdgeLoadMode::Csr;
+  }
+  void make_work(const Csr& graph, std::span<const NodeId> active,
+                 std::vector<sim::WorkItem>& out) const override {
+    out.clear();
+    out.reserve(active.size());
+    for (NodeId s : active) {
+      out.push_back({s, graph.edge_begin(s), graph.degree(s)});
+    }
+  }
+  [[nodiscard]] std::uint64_t aux_items_per_sweep(std::size_t) const override {
+    return 0;
+  }
+};
+
+class TigrLike final : public Strategy {
+ public:
+  /// Tigr's virtual-node bound: no physical vertex presents more than
+  /// this many edges to one lane.
+  static constexpr NodeId kSplitBound = 32;
+
+  [[nodiscard]] BaselineId id() const override { return BaselineId::TigrLike; }
+  [[nodiscard]] bool data_driven() const override { return true; }
+  [[nodiscard]] sim::EdgeLoadMode edge_load_mode() const override {
+    return sim::EdgeLoadMode::IdealWarpPacked;
+  }
+  void make_work(const Csr& graph, std::span<const NodeId> active,
+                 std::vector<sim::WorkItem>& out) const override {
+    out.clear();
+    out.reserve(active.size());
+    for (NodeId s : active) {
+      const EdgeId begin = graph.edge_begin(s);
+      const NodeId degree = graph.degree(s);
+      for (NodeId off = 0; off < degree; off += kSplitBound) {
+        out.push_back({s, begin + off, std::min(kSplitBound, degree - off)});
+      }
+      if (degree == 0) out.push_back({s, begin, 0});
+    }
+  }
+  [[nodiscard]] std::uint64_t aux_items_per_sweep(
+      std::size_t active_count) const override {
+    // Virtual-to-physical bookkeeping touches each active vertex once.
+    return active_count;
+  }
+};
+
+class GunrockLike final : public Strategy {
+ public:
+  [[nodiscard]] BaselineId id() const override {
+    return BaselineId::GunrockLike;
+  }
+  [[nodiscard]] bool data_driven() const override { return true; }
+  [[nodiscard]] sim::EdgeLoadMode edge_load_mode() const override {
+    return sim::EdgeLoadMode::Csr;
+  }
+  void make_work(const Csr& graph, std::span<const NodeId> active,
+                 std::vector<sim::WorkItem>& out) const override {
+    out.clear();
+    out.reserve(active.size());
+    for (NodeId s : active) {
+      out.push_back({s, graph.edge_begin(s), graph.degree(s)});
+    }
+  }
+  [[nodiscard]] std::uint64_t aux_items_per_sweep(
+      std::size_t active_count) const override {
+    // Advance + filter: frontier compaction reads and writes each active
+    // element (Gunrock's filter operator).
+    return 2 * active_count;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Strategy> make_strategy(BaselineId id) {
+  switch (id) {
+    case BaselineId::TopologyDriven:
+      return std::make_unique<TopologyDriven>();
+    case BaselineId::TigrLike:
+      return std::make_unique<TigrLike>();
+    case BaselineId::GunrockLike:
+      return std::make_unique<GunrockLike>();
+  }
+  GRAFFIX_CHECK(false, "unknown baseline");
+  return nullptr;
+}
+
+std::vector<BaselineId> all_baselines() {
+  return {BaselineId::TopologyDriven, BaselineId::TigrLike,
+          BaselineId::GunrockLike};
+}
+
+}  // namespace graffix::baselines

@@ -1,0 +1,68 @@
+// Execution-strategy emulations of the paper's three exact baselines
+// (see DESIGN.md §2 substitutions):
+//
+//   Baseline-I  (LonestarGPU family): topology-driven — every vertex is
+//               processed every iteration; plain CSR edge loads.
+//   Tigr        : data-driven, virtual node splitting (each work item
+//               covers at most split_bound edges) and edge-array
+//               coalescing (ideal edge loads). These are exactly the two
+//               optimizations the paper credits for Graffix's smaller
+//               headroom over Tigr in Tables 9/11.
+//   Gunrock     : data-driven frontiers with an explicit filter kernel
+//               charged per compaction.
+//
+// A strategy turns the current active set into the warp-shaped work list
+// the SIMT engine executes, and declares its edge-load mode and
+// per-iteration auxiliary cost.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "sim/engine.hpp"
+#include "sim/work.hpp"
+
+namespace graffix::baselines {
+
+enum class BaselineId {
+  TopologyDriven,  // Baseline-I
+  TigrLike,        // Baseline-II
+  GunrockLike,     // Baseline-III
+};
+
+[[nodiscard]] const char* baseline_name(BaselineId id);
+
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+
+  [[nodiscard]] virtual BaselineId id() const = 0;
+  [[nodiscard]] const char* name() const { return baseline_name(id()); }
+
+  /// Whether sweeps should be restricted to the frontier of updated
+  /// vertices (data-driven) or run over all vertices (topology-driven).
+  [[nodiscard]] virtual bool data_driven() const = 0;
+
+  [[nodiscard]] virtual sim::EdgeLoadMode edge_load_mode() const = 0;
+
+  /// Builds the work list for one sweep. `active` lists the slots to
+  /// process, already in the desired processing order (the divergence
+  /// transform's warp order is applied by the runner before this call).
+  virtual void make_work(const Csr& graph, std::span<const NodeId> active,
+                         std::vector<sim::WorkItem>& out) const = 0;
+
+  /// Auxiliary per-sweep cost in "uniform kernel items" (e.g. Gunrock's
+  /// filter touches every active element once).
+  [[nodiscard]] virtual std::uint64_t aux_items_per_sweep(
+      std::size_t active_count) const = 0;
+};
+
+[[nodiscard]] std::unique_ptr<Strategy> make_strategy(BaselineId id);
+
+/// All three baselines in paper order (Tables 2, 3, 4).
+[[nodiscard]] std::vector<BaselineId> all_baselines();
+
+}  // namespace graffix::baselines

@@ -1,0 +1,96 @@
+// Simulated-device algorithm runners: the five paper algorithms (SSSP,
+// MST, SCC, PR, BC) expressed as iterative vertex-centric sweeps on the
+// SIMT engine, parameterized by a baseline execution strategy and the
+// optional Graffix transform artifacts (warp order, replica map, cluster
+// schedule).
+//
+// One runner invocation produces BOTH the functional output (attribute
+// values on the input graph, whatever graph that is — original for exact
+// runs, transformed for approximate runs) and the simulated execution
+// time derived from the engine's stats. Accuracy and speedup are
+// computed by the caller from two invocations.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "baselines/strategy.hpp"
+#include "graph/csr.hpp"
+#include "sim/config.hpp"
+#include "sim/stats.hpp"
+#include "transform/confluence.hpp"
+#include "transform/latency.hpp"
+
+namespace graffix::core {
+
+enum class Algorithm { SSSP, MST, SCC, PR, BC };
+
+[[nodiscard]] const char* algorithm_name(Algorithm alg);
+[[nodiscard]] std::vector<Algorithm> all_algorithms();  // paper row order
+
+struct RunConfig {
+  sim::SimConfig sim;
+  baselines::BaselineId baseline = baselines::BaselineId::TopologyDriven;
+
+  /// Processing order of slots (divergence transform); empty = id order.
+  std::span<const NodeId> warp_order = {};
+  /// Replica groups to merge after every sweep (coalescing transform).
+  const transform::ReplicaMap* replicas = nullptr;
+  /// Shared-memory cluster schedule (latency transform).
+  const transform::ClusterSchedule* clusters = nullptr;
+
+  std::uint32_t max_iterations = 100000;
+  /// Relative change below which a confluence merge does not re-activate
+  /// a vertex. Mean-merges approach their joint fixpoint geometrically;
+  /// chasing them to machine precision would add ~30 no-progress
+  /// iterations per replica pair.
+  double confluence_epsilon = 1e-4;
+  /// Merge replica attributes every N iterations (paper default: every
+  /// iteration; the end-of-run alternative §2.4 mentions is modeled by a
+  /// large value — a final merge always runs before results are read).
+  std::uint32_t confluence_every = 1;
+  /// Record a TracePoint per iteration (see RunOutput::trace).
+  bool collect_trace = false;
+  /// SSSP source (slot id in the input graph).
+  NodeId sssp_source = 0;
+  /// BC sources (slot ids); empty = runner samples bc_sample_count.
+  std::span<const NodeId> bc_sources = {};
+  std::uint32_t bc_sample_count = 8;
+  /// PR settings (mirrors the host reference).
+  double pr_damping = 0.85;
+  double pr_tolerance = 1e-6;
+  std::uint32_t pr_max_iterations = 60;
+  /// Pull-mode PR: each vertex gathers from its in-neighbors (the
+  /// transpose graph) instead of scattering to out-neighbors. Same
+  /// fixpoint, no atomics, different access pattern — the classic GPU
+  /// push-vs-pull ablation (bench_ablation_pr_pull).
+  bool pr_pull = false;
+  std::uint64_t seed = 42;
+};
+
+/// One point of a run trace: cumulative engine stats at the end of an
+/// iteration (SSSP/PR/MST round, SCC coloring round, BC source).
+struct TracePoint {
+  std::uint32_t iteration = 0;
+  sim::KernelStats stats;
+};
+
+struct RunOutput {
+  /// Per-slot attribute: SSSP distance, PR rank, BC centrality. Empty for
+  /// SCC and MST.
+  std::vector<double> attr;
+  /// SCC: component count. MST: forest weight. 0 otherwise.
+  double scalar = 0.0;
+  sim::KernelStats stats;
+  double sim_seconds = 0.0;
+  std::uint32_t iterations = 0;
+  /// Filled when RunConfig::collect_trace is set.
+  std::vector<TracePoint> trace;
+};
+
+/// Runs `alg` on `graph` under `config`.
+[[nodiscard]] RunOutput run_algorithm(Algorithm alg, const Csr& graph,
+                                      const RunConfig& config);
+
+}  // namespace graffix::core

@@ -1,0 +1,39 @@
+#include "gen/erdos_renyi.hpp"
+
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace graffix {
+
+Csr generate_erdos_renyi(const ErdosRenyiParams& params) {
+  const NodeId n = NodeId{1} << params.scale;
+  const EdgeId m = static_cast<EdgeId>(params.edge_factor) * n;
+
+  constexpr EdgeId kBlock = 1 << 14;
+  const EdgeId num_blocks = (m + kBlock - 1) / kBlock;
+  std::vector<EdgeTriple> edges(m);
+  parallel_for(EdgeId{0}, num_blocks, [&](EdgeId blk) {
+    Pcg32 rng = make_stream(params.seed, blk);
+    const EdgeId lo = blk * kBlock;
+    const EdgeId hi = std::min(lo + kBlock, m);
+    for (EdgeId e = lo; e < hi; ++e) {
+      const NodeId u = rng.next_bounded(n);
+      const NodeId v = rng.next_bounded(n);
+      const Weight w = params.weighted
+                           ? 1.0f + rng.next_float() * (params.max_weight - 1.0f)
+                           : 1.0f;
+      edges[e] = {u, v, w};
+    }
+  });
+
+  GraphBuilder builder(n);
+  builder.set_weighted(params.weighted);
+  builder.set_drop_self_loops(true);
+  builder.add_edges(std::move(edges));
+  return builder.build();
+}
+
+}  // namespace graffix

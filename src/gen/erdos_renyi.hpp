@@ -1,0 +1,22 @@
+// Erdős–Rényi G(n, m) generator — the paper's random26 input (GTgraph
+// "random"). Near-uniform degrees, in contrast to R-MAT's skew; this is
+// the regime where Graffix's divergence technique has the least headroom.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr.hpp"
+
+namespace graffix {
+
+struct ErdosRenyiParams {
+  std::uint32_t scale = 14;        // num_nodes = 2^scale
+  std::uint32_t edge_factor = 16;  // num_edges = edge_factor * num_nodes
+  bool weighted = true;
+  Weight max_weight = 100.0f;
+  std::uint64_t seed = 0xe2d05beef;
+};
+
+[[nodiscard]] Csr generate_erdos_renyi(const ErdosRenyiParams& params);
+
+}  // namespace graffix

@@ -1,0 +1,40 @@
+#include "gen/permute.hpp"
+
+#include <numeric>
+#include <vector>
+
+#include "util/macros.hpp"
+#include "util/rng.hpp"
+
+namespace graffix {
+
+Csr permute_vertices(const Csr& graph, std::uint64_t seed) {
+  GRAFFIX_CHECK(!graph.has_holes(), "permute expects an untransformed graph");
+  const NodeId n = graph.num_slots();
+  std::vector<NodeId> new_id(n);
+  std::iota(new_id.begin(), new_id.end(), NodeId{0});
+  Pcg32 rng = make_stream(seed, 0x9e);
+  for (NodeId i = n; i > 1; --i) {
+    std::swap(new_id[i - 1], new_id[rng.next_bounded(i)]);
+  }
+
+  std::vector<EdgeId> offsets(static_cast<std::size_t>(n) + 1, 0);
+  for (NodeId u = 0; u < n; ++u) {
+    offsets[new_id[u] + 1] = graph.degree(u);
+  }
+  for (NodeId s = 0; s < n; ++s) offsets[s + 1] += offsets[s];
+
+  std::vector<NodeId> targets(graph.num_edges());
+  std::vector<Weight> weights(graph.has_weights() ? graph.num_edges() : 0);
+  for (NodeId u = 0; u < n; ++u) {
+    const auto nbrs = graph.neighbors(u);
+    EdgeId pos = offsets[new_id[u]];
+    for (std::size_t i = 0; i < nbrs.size(); ++i, ++pos) {
+      targets[pos] = new_id[nbrs[i]];
+      if (!weights.empty()) weights[pos] = graph.edge_weights(u)[i];
+    }
+  }
+  return Csr(std::move(offsets), std::move(targets), std::move(weights));
+}
+
+}  // namespace graffix

@@ -1,0 +1,21 @@
+// Random vertex-id permutation.
+//
+// GTgraph and the SNAP distributions hand out graphs whose vertex ids
+// carry no locality; synthetic R-MAT output, by contrast, clusters low
+// ids artificially (the recursive quadrant bias). The suite presets
+// permute ids after generation so the exact baselines see realistic
+// (uncoalesced) gather patterns — which is precisely the starting point
+// Graffix's renumbering is designed for.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr.hpp"
+
+namespace graffix {
+
+/// Relabels vertices by a seeded random bijection. Neighbor order within
+/// each adjacency is preserved (targets are remapped in place).
+[[nodiscard]] Csr permute_vertices(const Csr& graph, std::uint64_t seed);
+
+}  // namespace graffix

@@ -1,0 +1,72 @@
+#include "gen/rmat.hpp"
+
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace graffix {
+
+namespace {
+
+EdgeTriple rmat_edge(const RmatParams& p, Pcg32& rng, NodeId n) {
+  NodeId u = 0, v = 0;
+  NodeId step = n >> 1;
+  // Noise on the quadrant probabilities (GTgraph applies +-10% jitter per
+  // level to avoid perfectly self-similar artifacts).
+  while (step > 0) {
+    const double r = rng.next_double();
+    double a = p.a * (0.9 + 0.2 * rng.next_double());
+    double b = p.b * (0.9 + 0.2 * rng.next_double());
+    double c = p.c * (0.9 + 0.2 * rng.next_double());
+    double d = p.d * (0.9 + 0.2 * rng.next_double());
+    const double norm = a + b + c + d;
+    a /= norm;
+    b /= norm;
+    c /= norm;
+    if (r < a) {
+      // top-left: nothing to add
+    } else if (r < a + b) {
+      v += step;
+    } else if (r < a + b + c) {
+      u += step;
+    } else {
+      u += step;
+      v += step;
+    }
+    step >>= 1;
+  }
+  const Weight w =
+      p.weighted ? 1.0f + rng.next_float() * (p.max_weight - 1.0f) : 1.0f;
+  return {u, v, w};
+}
+
+}  // namespace
+
+Csr generate_rmat(const RmatParams& params) {
+  const NodeId n = NodeId{1} << params.scale;
+  const EdgeId m = static_cast<EdgeId>(params.edge_factor) * n;
+
+  // Deterministic parallel generation: fixed per-block streams.
+  constexpr EdgeId kBlock = 1 << 14;
+  const EdgeId num_blocks = (m + kBlock - 1) / kBlock;
+  std::vector<EdgeTriple> edges(m);
+  parallel_for(EdgeId{0}, num_blocks, [&](EdgeId blk) {
+    Pcg32 rng = make_stream(params.seed, blk);
+    const EdgeId lo = blk * kBlock;
+    const EdgeId hi = std::min(lo + kBlock, m);
+    for (EdgeId e = lo; e < hi; ++e) {
+      edges[e] = rmat_edge(params, rng, n);
+    }
+  });
+
+  GraphBuilder builder(n);
+  builder.set_weighted(params.weighted);
+  builder.set_drop_self_loops(true);
+  if (params.dedup) builder.set_dedup(GraphBuilder::Dedup::KeepMinWeight);
+  builder.add_edges(std::move(edges));
+  return builder.build();
+}
+
+}  // namespace graffix

@@ -1,0 +1,30 @@
+// GTgraph-style R-MAT generator (Chakrabarti et al.), the generator the
+// paper uses for its rmat26 input. Recursive quadrant descent with
+// probabilities (a, b, c, d); a >> d yields the skewed power-law degree
+// distributions Graffix's thresholds are tuned for.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr.hpp"
+
+namespace graffix {
+
+struct RmatParams {
+  std::uint32_t scale = 14;        // num_nodes = 2^scale
+  std::uint32_t edge_factor = 16;  // num_edges = edge_factor * num_nodes
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+  double d = 0.05;
+  bool weighted = true;
+  Weight max_weight = 100.0f;  // weights uniform in [1, max_weight]
+  bool dedup = false;          // paper graphs keep multi-edges out
+  std::uint64_t seed = 0x5eedbeef;
+};
+
+/// Generates a directed R-MAT graph. Deterministic for a fixed seed,
+/// independent of thread count.
+[[nodiscard]] Csr generate_rmat(const RmatParams& params);
+
+}  // namespace graffix

@@ -1,0 +1,47 @@
+#include "gen/road_grid.hpp"
+
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "util/rng.hpp"
+
+namespace graffix {
+
+Csr generate_road_grid(const RoadGridParams& params) {
+  const NodeId w = params.width;
+  const NodeId h = params.height;
+  const NodeId n = w * h;
+  auto id = [w](NodeId x, NodeId y) { return y * w + x; };
+
+  GraphBuilder builder(n);
+  builder.set_weighted(params.weighted);
+  builder.reserve(static_cast<std::size_t>(n) * 5);
+  Pcg32 rng = make_stream(params.seed, 0);
+
+  auto add_bidir = [&](NodeId a, NodeId b) {
+    const Weight weight =
+        params.weighted ? 1.0f + rng.next_float() * (params.max_weight - 1.0f)
+                        : 1.0f;
+    builder.add_edge(a, b, weight);
+    builder.add_edge(b, a, weight);
+  };
+
+  for (NodeId y = 0; y < h; ++y) {
+    for (NodeId x = 0; x < w; ++x) {
+      const NodeId u = id(x, y);
+      if (x + 1 < w && rng.next_double() >= params.removal_fraction) {
+        add_bidir(u, id(x + 1, y));
+      }
+      if (y + 1 < h && rng.next_double() >= params.removal_fraction) {
+        add_bidir(u, id(x, y + 1));
+      }
+      if (x + 1 < w && y + 1 < h &&
+          rng.next_double() < params.diagonal_fraction) {
+        add_bidir(u, id(x + 1, y + 1));
+      }
+    }
+  }
+  return builder.build();
+}
+
+}  // namespace graffix

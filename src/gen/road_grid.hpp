@@ -1,0 +1,28 @@
+// Long-diameter road-network synthesizer standing in for the DIMACS
+// USA-road graph (see DESIGN.md substitutions). A width x height lattice
+// with 4-connectivity, a fraction of diagonal shortcuts, and a small
+// fraction of removed streets. Degrees are small and near-uniform and the
+// diameter is O(width + height) — the two properties the paper's road-
+// network rows depend on (low connectedness threshold, low degreeSim).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr.hpp"
+
+namespace graffix {
+
+struct RoadGridParams {
+  NodeId width = 128;
+  NodeId height = 128;
+  double diagonal_fraction = 0.05;  // extra diagonal shortcut probability
+  double removal_fraction = 0.03;   // probability a lattice edge is dropped
+  bool weighted = true;
+  Weight max_weight = 50.0f;
+  std::uint64_t seed = 0x60ad60ad;
+};
+
+/// Generates a directed (symmetric) road-like lattice.
+[[nodiscard]] Csr generate_road_grid(const RoadGridParams& params);
+
+}  // namespace graffix

@@ -1,0 +1,119 @@
+#include "gen/suite.hpp"
+
+#include <cmath>
+
+#include "gen/erdos_renyi.hpp"
+#include "gen/permute.hpp"
+#include "gen/rmat.hpp"
+#include "gen/road_grid.hpp"
+#include "util/macros.hpp"
+
+namespace graffix {
+
+const char* preset_name(GraphPreset preset) {
+  switch (preset) {
+    case GraphPreset::Rmat26:
+      return "rmat26";
+    case GraphPreset::Random26:
+      return "random26";
+    case GraphPreset::LiveJournal:
+      return "LiveJournal";
+    case GraphPreset::UsaRoad:
+      return "USA-road";
+    case GraphPreset::Twitter:
+      return "twitter";
+  }
+  return "?";
+}
+
+bool preset_is_power_law(GraphPreset preset) {
+  return preset != GraphPreset::UsaRoad;
+}
+
+namespace {
+
+/// Raw generator output for one preset (before id permutation).
+Csr make_preset_raw(GraphPreset preset, std::uint32_t scale,
+                    std::uint64_t seed) {
+  switch (preset) {
+    case GraphPreset::Rmat26: {
+      RmatParams p;
+      p.scale = scale;
+      p.edge_factor = 16;
+      p.seed = seed ^ 0x11;
+      return generate_rmat(p);
+    }
+    case GraphPreset::Random26: {
+      ErdosRenyiParams p;
+      p.scale = scale;
+      p.edge_factor = 16;
+      p.seed = seed ^ 0x22;
+      return generate_erdos_renyi(p);
+    }
+    case GraphPreset::LiveJournal: {
+      // Social network: milder skew than rmat26 (paper LJ: 4.8M nodes,
+      // 68.9M edges => edge factor ~14).
+      RmatParams p;
+      p.scale = scale;
+      p.edge_factor = 14;
+      p.a = 0.48;
+      p.b = 0.22;
+      p.c = 0.22;
+      p.d = 0.08;
+      p.seed = seed ^ 0x33;
+      return generate_rmat(p);
+    }
+    case GraphPreset::UsaRoad: {
+      // Rectangle with ~2^scale nodes; paper USA-road has E/V ~ 2.4 which
+      // the lattice's 4-connectivity (minus removals) matches.
+      RoadGridParams p;
+      const auto side = static_cast<NodeId>(
+          std::lround(std::sqrt(std::pow(2.0, scale))));
+      p.width = side;
+      p.height = side;
+      p.seed = seed ^ 0x44;
+      return generate_road_grid(p);
+    }
+    case GraphPreset::Twitter: {
+      // Extreme skew, densest graph in the suite (paper: ef ~35).
+      RmatParams p;
+      p.scale = scale;
+      p.edge_factor = 32;
+      p.a = 0.62;
+      p.b = 0.18;
+      p.c = 0.15;
+      p.d = 0.05;
+      p.seed = seed ^ 0x55;
+      return generate_rmat(p);
+    }
+  }
+  GRAFFIX_CHECK(false, "unknown preset");
+  return {};
+}
+
+}  // namespace
+
+Csr make_preset(GraphPreset preset, std::uint32_t scale, std::uint64_t seed) {
+  GRAFFIX_CHECK(scale >= 6 && scale <= 26, "scale %u out of range", scale);
+  Csr raw = make_preset_raw(preset, scale, seed);
+  // Permute ids as GTgraph/SNAP distributions do: synthetic generators
+  // otherwise leave artificial id locality that no real input has (see
+  // gen/permute.hpp).
+  return permute_vertices(raw, seed ^ 0x77);
+}
+
+std::vector<SuiteEntry> make_suite(std::uint32_t scale, std::uint64_t seed) {
+  std::vector<SuiteEntry> suite;
+  for (GraphPreset preset : all_presets()) {
+    suite.push_back(
+        {preset, preset_name(preset), make_preset(preset, scale, seed)});
+  }
+  return suite;
+}
+
+std::vector<GraphPreset> all_presets() {
+  return {GraphPreset::Rmat26, GraphPreset::Random26, GraphPreset::LiveJournal,
+          GraphPreset::UsaRoad, GraphPreset::Twitter};
+}
+
+}  // namespace graffix

@@ -1,0 +1,47 @@
+// The paper's five-graph input suite (Table 1) at configurable scale.
+//
+// The paper's graphs are billion-edge; the presets reproduce each graph's
+// *regime* (degree distribution + diameter class) at a scale set by the
+// caller so benches run on commodity machines. See DESIGN.md §2.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace graffix {
+
+enum class GraphPreset {
+  Rmat26,       // heavy-tailed R-MAT, edge factor 16
+  Random26,     // Erdős–Rényi, same node/edge count as Rmat26
+  LiveJournal,  // social network: milder skew, small diameter, ef 14
+  UsaRoad,      // road lattice: uniform small degrees, large diameter
+  Twitter,      // extreme skew, densest (ef 32)
+};
+
+struct SuiteEntry {
+  GraphPreset preset;
+  std::string name;  // paper's row label
+  Csr graph;
+};
+
+[[nodiscard]] const char* preset_name(GraphPreset preset);
+
+/// True for the presets the paper classifies as power-law/scale-free
+/// (drives the per-class default connectedness thresholds, §5.2).
+[[nodiscard]] bool preset_is_power_law(GraphPreset preset);
+
+/// Instantiate one preset. `scale` plays the role of the paper's "26":
+/// node count ~= 2^scale (the road grid rounds to a rectangle).
+[[nodiscard]] Csr make_preset(GraphPreset preset, std::uint32_t scale,
+                              std::uint64_t seed = 42);
+
+/// The full Table 1 suite in paper row order.
+[[nodiscard]] std::vector<SuiteEntry> make_suite(std::uint32_t scale,
+                                                 std::uint64_t seed = 42);
+
+/// All presets in paper order.
+[[nodiscard]] std::vector<GraphPreset> all_presets();
+
+}  // namespace graffix

@@ -1,0 +1,64 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+
+#include "util/macros.hpp"
+#include "util/parallel.hpp"
+
+namespace graffix {
+
+void GraphBuilder::add_edge(NodeId src, NodeId dst, Weight w) {
+  GRAFFIX_DCHECK(src < num_nodes_ && dst < num_nodes_,
+                 "edge (%u,%u) out of range (n=%u)", src, dst, num_nodes_);
+  edges_.push_back({src, dst, w});
+}
+
+void GraphBuilder::add_edges(std::vector<EdgeTriple>&& edges) {
+  if (edges_.empty()) {
+    edges_ = std::move(edges);
+  } else {
+    edges_.insert(edges_.end(), edges.begin(), edges.end());
+  }
+}
+
+Csr GraphBuilder::build() {
+  if (drop_self_loops_) {
+    std::erase_if(edges_, [](const EdgeTriple& e) { return e.src == e.dst; });
+  }
+
+  std::sort(edges_.begin(), edges_.end(),
+            [](const EdgeTriple& a, const EdgeTriple& b) {
+              if (a.src != b.src) return a.src < b.src;
+              if (a.dst != b.dst) return a.dst < b.dst;
+              return a.weight < b.weight;
+            });
+
+  if (dedup_ != Dedup::None) {
+    // Sorted by (src, dst, weight): unique keeps the first occurrence,
+    // which for KeepMinWeight is the cheapest parallel edge.
+    auto last = std::unique(edges_.begin(), edges_.end(),
+                            [](const EdgeTriple& a, const EdgeTriple& b) {
+                              return a.src == b.src && a.dst == b.dst;
+                            });
+    edges_.erase(last, edges_.end());
+  }
+
+  std::vector<EdgeId> offsets(static_cast<std::size_t>(num_nodes_) + 1, 0);
+  for (const EdgeTriple& e : edges_) {
+    offsets[static_cast<std::size_t>(e.src) + 1]++;
+  }
+  for (std::size_t i = 1; i < offsets.size(); ++i) offsets[i] += offsets[i - 1];
+
+  std::vector<NodeId> targets(edges_.size());
+  std::vector<Weight> weights(weighted_ ? edges_.size() : 0);
+  parallel_for(std::size_t{0}, edges_.size(), [&](std::size_t i) {
+    targets[i] = edges_[i].dst;
+    if (weighted_) weights[i] = edges_[i].weight;
+  });
+
+  edges_.clear();
+  edges_.shrink_to_fit();
+  return Csr(std::move(offsets), std::move(targets), std::move(weights));
+}
+
+}  // namespace graffix

@@ -1,0 +1,90 @@
+#include "graph/csr.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/builder.hpp"
+#include "util/parallel.hpp"
+
+namespace graffix {
+
+Csr::Csr(std::vector<EdgeId> offsets, std::vector<NodeId> targets,
+         std::vector<Weight> weights, std::vector<std::uint8_t> holes)
+    : offsets_(std::move(offsets)),
+      targets_(std::move(targets)),
+      weights_(std::move(weights)),
+      holes_(std::move(holes)) {
+  GRAFFIX_CHECK(!offsets_.empty(), "offsets must have at least one entry");
+  GRAFFIX_CHECK(offsets_.back() == targets_.size(),
+                "offsets/targets mismatch: %llu vs %zu",
+                static_cast<unsigned long long>(offsets_.back()),
+                targets_.size());
+  GRAFFIX_CHECK(weights_.empty() || weights_.size() == targets_.size(),
+                "weights size mismatch");
+  GRAFFIX_CHECK(holes_.empty() || holes_.size() == offsets_.size() - 1,
+                "hole mask size mismatch");
+  const NodeId slots = num_slots();
+  if (holes_.empty()) {
+    num_nodes_ = slots;
+  } else {
+    NodeId real = 0;
+    for (NodeId s = 0; s < slots; ++s) {
+      if (holes_[s] == 0) ++real;
+    }
+    num_nodes_ = real;
+  }
+}
+
+std::size_t Csr::memory_bytes() const {
+  return offsets_.size() * sizeof(EdgeId) + targets_.size() * sizeof(NodeId) +
+         weights_.size() * sizeof(Weight) + holes_.size();
+}
+
+Csr Csr::transpose() const {
+  const NodeId slots = num_slots();
+  std::vector<EdgeId> counts(static_cast<std::size_t>(slots) + 1, 0);
+  for (NodeId t : targets_) counts[static_cast<std::size_t>(t) + 1]++;
+  std::partial_sum(counts.begin(), counts.end(), counts.begin());
+  std::vector<NodeId> rtargets(targets_.size());
+  std::vector<Weight> rweights(weights_.empty() ? 0 : targets_.size());
+  std::vector<EdgeId> cursor(counts.begin(), counts.end() - 1);
+  for (NodeId u = 0; u < slots; ++u) {
+    const EdgeId lo = offsets_[u];
+    const EdgeId hi = offsets_[u + 1];
+    for (EdgeId e = lo; e < hi; ++e) {
+      const NodeId v = targets_[e];
+      const EdgeId pos = cursor[v]++;
+      rtargets[pos] = u;
+      if (!rweights.empty()) rweights[pos] = weights_[e];
+    }
+  }
+  return Csr(std::move(counts), std::move(rtargets), std::move(rweights),
+             holes_);
+}
+
+Csr Csr::symmetrized() const {
+  GraphBuilder builder(num_slots());
+  builder.set_weighted(has_weights());
+  const NodeId slots = num_slots();
+  for (NodeId u = 0; u < slots; ++u) {
+    const EdgeId lo = offsets_[u];
+    const EdgeId hi = offsets_[u + 1];
+    for (EdgeId e = lo; e < hi; ++e) {
+      const NodeId v = targets_[e];
+      const Weight w = has_weights() ? weights_[e] : Weight{1};
+      builder.add_edge(u, v, w);
+      builder.add_edge(v, u, w);
+    }
+  }
+  builder.set_dedup(GraphBuilder::Dedup::KeepMinWeight);
+  Csr sym = builder.build();
+  // Re-attach the hole mask: symmetrization never adds edges to holes'
+  // adjacency unless a real node pointed at a hole slot, which validate()
+  // forbids upstream.
+  return Csr(std::vector<EdgeId>(sym.offsets().begin(), sym.offsets().end()),
+             std::vector<NodeId>(sym.targets().begin(), sym.targets().end()),
+             std::vector<Weight>(sym.weights().begin(), sym.weights().end()),
+             holes_);
+}
+
+}  // namespace graffix

@@ -1,0 +1,96 @@
+// Compressed Sparse Row graph representation, hole-aware.
+//
+// This mirrors the layout in the paper's Figure 1: an offsets array, an
+// edges (targets) array, optional per-edge weights, and per-node attribute
+// arrays managed by the algorithms. Graffix's renumbering transform (§2.2)
+// deliberately leaves *holes* — slot indices with no corresponding real
+// node — so each BFS level starts at a multiple of the chunk size k. A Csr
+// therefore distinguishes "slots" (indices into the offsets array,
+// including holes) from "nodes" (non-hole slots). A graph with no holes
+// has num_slots() == num_nodes() and an empty hole mask.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/macros.hpp"
+#include "util/types.hpp"
+
+namespace graffix {
+
+class Csr {
+ public:
+  Csr() = default;
+
+  /// Takes ownership of prebuilt arrays. offsets.size() == num_slots + 1.
+  /// weights must be empty or match targets.size(). hole mask must be
+  /// empty (no holes) or have num_slots entries (1 = hole).
+  Csr(std::vector<EdgeId> offsets, std::vector<NodeId> targets,
+      std::vector<Weight> weights = {}, std::vector<std::uint8_t> holes = {});
+
+  /// Total slot count, including holes.
+  [[nodiscard]] NodeId num_slots() const {
+    return static_cast<NodeId>(offsets_.empty() ? 0 : offsets_.size() - 1);
+  }
+
+  /// Real (non-hole) node count.
+  [[nodiscard]] NodeId num_nodes() const { return num_nodes_; }
+
+  [[nodiscard]] EdgeId num_edges() const {
+    return offsets_.empty() ? 0 : offsets_.back();
+  }
+
+  [[nodiscard]] bool has_weights() const { return !weights_.empty(); }
+  [[nodiscard]] bool has_holes() const { return !holes_.empty(); }
+
+  [[nodiscard]] bool is_hole(NodeId slot) const {
+    GRAFFIX_DCHECK(slot < num_slots(), "slot=%u", slot);
+    return !holes_.empty() && holes_[slot] != 0;
+  }
+
+  [[nodiscard]] NodeId degree(NodeId slot) const {
+    GRAFFIX_DCHECK(slot < num_slots(), "slot=%u", slot);
+    return static_cast<NodeId>(offsets_[slot + 1] - offsets_[slot]);
+  }
+
+  [[nodiscard]] EdgeId edge_begin(NodeId slot) const { return offsets_[slot]; }
+  [[nodiscard]] EdgeId edge_end(NodeId slot) const { return offsets_[slot + 1]; }
+
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId slot) const {
+    return {targets_.data() + offsets_[slot],
+            targets_.data() + offsets_[slot + 1]};
+  }
+
+  [[nodiscard]] std::span<const Weight> edge_weights(NodeId slot) const {
+    GRAFFIX_DCHECK(has_weights(), "graph is unweighted");
+    return {weights_.data() + offsets_[slot],
+            weights_.data() + offsets_[slot + 1]};
+  }
+
+  [[nodiscard]] std::span<const EdgeId> offsets() const { return offsets_; }
+  [[nodiscard]] std::span<const NodeId> targets() const { return targets_; }
+  [[nodiscard]] std::span<const Weight> weights() const { return weights_; }
+  [[nodiscard]] std::span<const std::uint8_t> holes() const { return holes_; }
+
+  /// Approximate resident bytes (offsets + targets + weights + hole mask);
+  /// used for the Table 5 "additional space" column.
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+  /// Returns the transpose (reverse) graph. Holes are preserved as slots
+  /// with zero out-degree and the same hole mask.
+  [[nodiscard]] Csr transpose() const;
+
+  /// Returns an undirected view: each directed edge mirrored, duplicates
+  /// removed. Weights keep the minimum of the two directions.
+  [[nodiscard]] Csr symmetrized() const;
+
+ private:
+  std::vector<EdgeId> offsets_;   // size num_slots + 1
+  std::vector<NodeId> targets_;   // size num_edges
+  std::vector<Weight> weights_;   // empty or size num_edges
+  std::vector<std::uint8_t> holes_;  // empty or size num_slots
+  NodeId num_nodes_ = 0;
+};
+
+}  // namespace graffix

@@ -1,0 +1,35 @@
+// Graph serialization: whitespace edge lists (SNAP style), DIMACS .gr
+// (USA-road distribution format), and a fast binary format for caching
+// transformed graphs between bench runs.
+#pragma once
+
+#include <string>
+
+#include "graph/csr.hpp"
+
+namespace graffix {
+
+/// Reads "u v [w]" lines; '#' and '%' lines are comments. Node count is
+/// 1 + max id unless min_nodes is larger.
+[[nodiscard]] Csr read_edge_list(const std::string& path, bool weighted = false,
+                                 NodeId min_nodes = 0);
+
+/// Writes "u v [w]" lines; holes are skipped.
+void write_edge_list(const Csr& graph, const std::string& path);
+
+/// Reads the 9th DIMACS challenge .gr format ("p sp N M" + "a u v w").
+[[nodiscard]] Csr read_dimacs(const std::string& path);
+
+/// Reads a Matrix Market coordinate file (.mtx): general or symmetric
+/// pattern/real matrices; symmetric entries are mirrored. 1-based ids.
+[[nodiscard]] Csr read_matrix_market(const std::string& path);
+
+/// Writes the graph as a general coordinate .mtx (weights become the
+/// value column when present).
+void write_matrix_market(const Csr& graph, const std::string& path);
+
+/// Binary round-trip: magic + counts + raw arrays (host endianness).
+void write_binary(const Csr& graph, const std::string& path);
+[[nodiscard]] Csr read_binary(const std::string& path);
+
+}  // namespace graffix

@@ -1,0 +1,42 @@
+#include "graph/subgraph.hpp"
+
+#include "util/macros.hpp"
+
+namespace graffix {
+
+Subgraph induced_subgraph(const Csr& graph, std::span<const NodeId> nodes) {
+  Subgraph result;
+  result.local_of_global.assign(graph.num_slots(), kInvalidNode);
+  for (NodeId global : nodes) {
+    GRAFFIX_CHECK(global < graph.num_slots() && !graph.is_hole(global),
+                  "bad subgraph member %u", global);
+    if (result.local_of_global[global] != kInvalidNode) continue;  // dup
+    result.local_of_global[global] =
+        static_cast<NodeId>(result.global_of_local.size());
+    result.global_of_local.push_back(global);
+  }
+
+  const auto n = static_cast<NodeId>(result.global_of_local.size());
+  const bool weighted = graph.has_weights();
+  std::vector<EdgeId> offsets(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<NodeId> targets;
+  std::vector<Weight> weights;
+  for (NodeId local = 0; local < n; ++local) {
+    const NodeId global = result.global_of_local[local];
+    const auto nbrs = graph.neighbors(global);
+    const auto wts =
+        weighted ? graph.edge_weights(global) : std::span<const Weight>{};
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const NodeId dst = result.local_of_global[nbrs[i]];
+      if (dst == kInvalidNode) continue;
+      targets.push_back(dst);
+      if (weighted) weights.push_back(wts[i]);
+    }
+    offsets[local + 1] = targets.size();
+  }
+  result.graph =
+      Csr(std::move(offsets), std::move(targets), std::move(weights));
+  return result;
+}
+
+}  // namespace graffix

@@ -1,0 +1,34 @@
+// Induced-subgraph extraction: a compact Csr over a node subset, with
+// the id mapping to go back and forth. Used by cluster tooling and handy
+// for users dissecting a transform's output (e.g. pulling one
+// shared-memory cluster out for inspection).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace graffix {
+
+struct Subgraph {
+  Csr graph;                        // local ids 0..nodes.size()-1
+  std::vector<NodeId> global_of_local;  // local -> original slot
+  std::vector<NodeId> local_of_global;  // original slot -> local (or
+                                        // kInvalidNode if not a member)
+
+  [[nodiscard]] NodeId to_local(NodeId global) const {
+    return local_of_global[global];
+  }
+  [[nodiscard]] NodeId to_global(NodeId local) const {
+    return global_of_local[local];
+  }
+};
+
+/// Extracts the subgraph induced on `nodes` (edges with both endpoints in
+/// the set; weights preserved; duplicate members ignored). Hole slots may
+/// not be members.
+[[nodiscard]] Subgraph induced_subgraph(const Csr& graph,
+                                        std::span<const NodeId> nodes);
+
+}  // namespace graffix

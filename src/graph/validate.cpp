@@ -1,0 +1,49 @@
+#include "graph/validate.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace graffix {
+
+namespace {
+ValidationReport fail(const char* fmt, unsigned long long a,
+                      unsigned long long b) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), fmt, a, b);
+  return {false, buf};
+}
+}  // namespace
+
+ValidationReport validate_graph(const Csr& graph) {
+  const NodeId slots = graph.num_slots();
+  const auto offsets = graph.offsets();
+  for (NodeId s = 0; s < slots; ++s) {
+    if (offsets[s] > offsets[s + 1]) {
+      return fail("offsets not monotone at slot %llu (next %llu)", s,
+                  offsets[s + 1]);
+    }
+    if (graph.is_hole(s) && graph.degree(s) != 0) {
+      return fail("hole slot %llu has out-degree %llu", s, graph.degree(s));
+    }
+  }
+  const auto targets = graph.targets();
+  for (std::size_t e = 0; e < targets.size(); ++e) {
+    if (targets[e] >= slots) {
+      return fail("edge %llu targets out-of-range node %llu", e, targets[e]);
+    }
+    if (graph.is_hole(targets[e])) {
+      return fail("edge %llu points at hole slot %llu", e, targets[e]);
+    }
+  }
+  if (graph.has_weights()) {
+    const auto weights = graph.weights();
+    for (std::size_t e = 0; e < weights.size(); ++e) {
+      if (!std::isfinite(weights[e]) || weights[e] < 0) {
+        return fail("edge %llu has bad weight (index %llu)", e, e);
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace graffix

@@ -1,0 +1,21 @@
+// Structural validation of Csr instances. The Graffix transforms make
+// aggressive structural edits (holes, replicas, injected edges); every
+// transform's output is validated in tests and, cheaply, at bench start.
+#pragma once
+
+#include <string>
+
+#include "graph/csr.hpp"
+
+namespace graffix {
+
+struct ValidationReport {
+  bool ok = true;
+  std::string message;  // first violation found, empty when ok
+};
+
+/// Checks: monotone offsets, targets in range, holes have zero out-degree,
+/// no edge points *at* a hole, weights finite and non-negative when present.
+[[nodiscard]] ValidationReport validate_graph(const Csr& graph);
+
+}  // namespace graffix

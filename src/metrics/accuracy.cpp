@@ -1,0 +1,57 @@
+#include "metrics/accuracy.hpp"
+
+#include <cmath>
+
+#include "util/macros.hpp"
+
+namespace graffix::metrics {
+
+AttributeError attribute_error(std::span<const double> exact,
+                               std::span<const double> approx) {
+  GRAFFIX_CHECK(exact.size() == approx.size(),
+                "attribute vectors differ in size: %zu vs %zu", exact.size(),
+                approx.size());
+  AttributeError err;
+  double abs_sum = 0.0;
+  double exact_sum = 0.0;
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    const bool ef = std::isfinite(exact[i]);
+    const bool af = std::isfinite(approx[i]);
+    if (!ef && !af) continue;  // both unreached: agreement
+    if (ef != af) {
+      ++err.mismatched_reach;
+      continue;
+    }
+    abs_sum += std::abs(exact[i] - approx[i]);
+    exact_sum += std::abs(exact[i]);
+    ++err.compared;
+  }
+  if (err.compared > 0) {
+    err.mean_abs_error = abs_sum / static_cast<double>(err.compared);
+    const double exact_mean = exact_sum / static_cast<double>(err.compared);
+    err.inaccuracy_pct =
+        exact_mean > 0.0 ? 100.0 * err.mean_abs_error / exact_mean
+                         : (err.mean_abs_error > 0.0 ? 100.0 : 0.0);
+  }
+  return err;
+}
+
+double scalar_inaccuracy_pct(double exact, double approx) {
+  const double denom = std::max(std::abs(exact), 1e-12);
+  return 100.0 * std::abs(exact - approx) / denom;
+}
+
+double speedup(double exact_time, double approx_time) {
+  return approx_time <= 0.0 ? 0.0 : exact_time / approx_time;
+}
+
+double geomean(std::span<const double> values) {
+  if (values.empty()) return 1.0;
+  double log_sum = 0.0;
+  for (double v : values) {
+    log_sum += std::log(std::max(v, 1e-12));
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+}  // namespace graffix::metrics

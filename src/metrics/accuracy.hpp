@@ -1,0 +1,40 @@
+// Inaccuracy metrics, following §5 of the paper:
+//  - SSSP / PR / BC: average absolute difference between per-vertex
+//    attribute values of the exact and approximate runs, normalized by
+//    the exact mean so it reads as a percentage;
+//  - SCC: relative difference in the number of components;
+//  - MST: relative difference in forest weight.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace graffix::metrics {
+
+struct AttributeError {
+  double inaccuracy_pct = 0.0;   // mean |exact - approx| / mean |exact| * 100
+  double mean_abs_error = 0.0;   // unnormalized
+  std::size_t compared = 0;      // finite pairs
+  std::size_t mismatched_reach = 0;  // one side finite, the other not
+};
+
+/// Compares per-node attribute vectors (same id space). Pairs where both
+/// sides are non-finite (e.g. both unreached in SSSP) agree and are
+/// skipped; pairs where exactly one side is finite are counted in
+/// mismatched_reach and excluded from the mean.
+[[nodiscard]] AttributeError attribute_error(std::span<const double> exact,
+                                             std::span<const double> approx);
+
+/// |exact - approx| / max(exact, eps) * 100 for scalar outcomes (SCC
+/// component counts, MST weights).
+[[nodiscard]] double scalar_inaccuracy_pct(double exact, double approx);
+
+/// Speedup of approx over exact (exact_time / approx_time).
+[[nodiscard]] double speedup(double exact_time, double approx_time);
+
+/// Geometric mean of positive values; zero-size input yields 1.
+[[nodiscard]] double geomean(std::span<const double> values);
+
+}  // namespace graffix::metrics

@@ -1,0 +1,36 @@
+// Minimal ASCII table printer for the bench harness — prints rows in the
+// paper's table layout so EXPERIMENTS.md can diff paper vs measured.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace graffix::metrics {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  /// A horizontal separator row.
+  void add_rule();
+
+  /// Renders to a string (header + rules + rows, right-padded columns).
+  [[nodiscard]] std::string render() const;
+
+  /// Convenience: renders and writes to stdout.
+  void print() const;
+
+  /// Formats a double with the given precision.
+  [[nodiscard]] static std::string num(double value, int precision = 2);
+  /// Formats "1.23x" speedup cells.
+  [[nodiscard]] static std::string speedup(double value);
+  /// Formats "12%" inaccuracy cells.
+  [[nodiscard]] static std::string pct(double value, int precision = 0);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;  // empty row = rule
+};
+
+}  // namespace graffix::metrics

@@ -1,0 +1,45 @@
+#include "sim/cost_model.hpp"
+
+#include <algorithm>
+
+namespace graffix::sim {
+
+double CostModel::hiding_factor(double resident_warps) const {
+  const double factor = resident_warps / static_cast<double>(config_.warps_to_hide);
+  return std::clamp(factor, 1.0, config_.max_overlap);
+}
+
+CostBreakdown CostModel::cycles(const KernelStats& stats,
+                                double avg_resident_warps) const {
+  CostBreakdown b;
+  const double hide = hiding_factor(avg_resident_warps);
+  const double eff_latency = config_.global_latency / hide;
+  b.issue_cycles = static_cast<double>(stats.warp_steps) * config_.issue_cycles;
+  b.global_memory_cycles =
+      static_cast<double>(stats.edge_transactions + stats.attr_transactions) *
+      eff_latency;
+  b.shared_memory_cycles =
+      static_cast<double>(stats.shared_accesses) * config_.shared_latency /
+          static_cast<double>(config_.warp_size) +
+      static_cast<double>(stats.bank_conflicts) * config_.bank_conflict_cycles;
+  b.atomic_cycles =
+      static_cast<double>(stats.atomic_commits) * config_.atomic_cycles /
+          static_cast<double>(config_.warp_size) +
+      static_cast<double>(stats.atomic_conflicts) *
+          config_.atomic_conflict_cycles;
+  b.launch_cycles = static_cast<double>(stats.sweeps) * config_.launch_cycles;
+  b.aux_cycles = static_cast<double>(stats.aux_ops) * 0.5;
+  return b;
+}
+
+double CostModel::seconds(const KernelStats& stats,
+                          double avg_resident_warps) const {
+  const double total = cycles(stats, avg_resident_warps).total_cycles();
+  // Work spreads across SMs; the cycle counts above are totals, so divide
+  // by device-wide throughput.
+  const double device_hz =
+      static_cast<double>(config_.num_sms) * config_.clock_ghz * 1e9;
+  return total / device_hz;
+}
+
+}  // namespace graffix::sim

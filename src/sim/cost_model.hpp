@@ -1,0 +1,50 @@
+// Converts KernelStats into simulated cycles and seconds.
+//
+// Model (see DESIGN.md §2): every warp step pays an issue cost; every
+// memory transaction pays the global latency divided by a latency-hiding
+// factor derived from how many warps the launch keeps resident; shared
+// accesses pay the (tiny) shared latency; committed atomics and intra-step
+// conflicts serialize. The absolute constants are calibration, the
+// *monotonicities* are the contract: fewer transactions, fewer wasted
+// lanes, or a higher shared fraction always means fewer cycles.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/config.hpp"
+#include "sim/stats.hpp"
+
+namespace graffix::sim {
+
+struct CostBreakdown {
+  double issue_cycles = 0;
+  double global_memory_cycles = 0;
+  double shared_memory_cycles = 0;
+  double atomic_cycles = 0;
+  double launch_cycles = 0;
+  double aux_cycles = 0;
+
+  [[nodiscard]] double total_cycles() const {
+    return issue_cycles + global_memory_cycles + shared_memory_cycles +
+           atomic_cycles + launch_cycles + aux_cycles;
+  }
+};
+
+class CostModel {
+ public:
+  explicit CostModel(SimConfig config) : config_(config) {}
+
+  /// avg_resident_warps: average warps per launch, used for latency hiding.
+  [[nodiscard]] CostBreakdown cycles(const KernelStats& stats,
+                                     double avg_resident_warps) const;
+
+  [[nodiscard]] double seconds(const KernelStats& stats,
+                               double avg_resident_warps) const;
+
+  [[nodiscard]] double hiding_factor(double resident_warps) const;
+
+ private:
+  SimConfig config_;
+};
+
+}  // namespace graffix::sim

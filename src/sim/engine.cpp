@@ -1,0 +1,45 @@
+#include "sim/engine.hpp"
+
+namespace graffix::sim {
+
+void Engine::charge_uniform_kernel(std::uint64_t n_items, double tx_per_item,
+                                   KernelStats& stats) const {
+  if (n_items == 0) return;
+  stats.sweeps += 1;
+  const std::uint32_t ws = config_.warp_size;
+  const std::uint64_t steps = (n_items + ws - 1) / ws;
+  stats.warp_steps += steps;
+  stats.lane_slots += steps * ws;
+  stats.active_lanes += n_items;
+  stats.aux_ops += n_items;
+  // Uniform streaming access: perfectly coalesced.
+  const auto tx = static_cast<std::uint64_t>(
+      static_cast<double>(n_items) * tx_per_item * config_.attr_bytes /
+          config_.transaction_bytes +
+      0.5);
+  stats.attr_transactions += tx;
+  stats.attr_ideal_transactions += tx;
+}
+
+std::vector<WorkItem> items_per_vertex(const Csr& graph,
+                                       std::span<const NodeId> slots) {
+  std::vector<WorkItem> items;
+  items.reserve(slots.size());
+  for (NodeId s : slots) {
+    items.push_back({s, graph.edge_begin(s), graph.degree(s)});
+  }
+  return items;
+}
+
+std::vector<WorkItem> items_all_vertices(const Csr& graph) {
+  std::vector<WorkItem> items;
+  items.reserve(graph.num_nodes());
+  const NodeId slots = graph.num_slots();
+  for (NodeId s = 0; s < slots; ++s) {
+    if (graph.is_hole(s)) continue;
+    items.push_back({s, graph.edge_begin(s), graph.degree(s)});
+  }
+  return items;
+}
+
+}  // namespace graffix::sim

@@ -1,0 +1,239 @@
+// Lockstep SIMT engine.
+//
+// Executes vertex-centric push sweeps over a Csr the way a GPU warp
+// would: items are packed into warps of warp_size lanes; the warp steps
+// through neighbor position j = 0..max_item_len-1 in lockstep; at each
+// step the engine records which lanes are active (divergence), groups the
+// lanes' edge-array and node-attribute byte addresses into
+// transaction_bytes segments (coalescing), and invokes the caller's edge
+// functor, which performs the *functional* update and reports whether it
+// committed (atomic traffic). The engine is single-threaded and fully
+// deterministic: identical inputs give identical stats and results.
+//
+// This is the substitution substrate for the paper's K40c — see DESIGN.md.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "sim/config.hpp"
+#include "sim/stats.hpp"
+#include "sim/work.hpp"
+#include "util/macros.hpp"
+
+namespace graffix::sim {
+
+/// Per-sweep options.
+struct SweepOptions {
+  EdgeLoadMode edge_mode = EdgeLoadMode::Csr;
+  AttrSpace attr_space = AttrSpace::Global;
+  /// Edge/weight arrays already staged into shared memory (cluster inner
+  /// iterations after the first): edge traffic becomes shared accesses.
+  bool edges_resident = false;
+  /// Cluster residency: resident[slot] == cluster id, kInvalidNode if not
+  /// resident. When src and dst share a cluster the attribute access is
+  /// served from shared memory (the latency technique's effect, §3).
+  std::span<const NodeId> resident = {};
+  /// Count a weights-array stream alongside the edges array.
+  bool weighted = false;
+  /// Whether this sweep is its own kernel launch. Cluster inner
+  /// iterations run inside one launch and set this to false.
+  bool charge_launch = true;
+};
+
+class Engine {
+ public:
+  Engine(const Csr& graph, SimConfig config)
+      : graph_(&graph), config_(config) {
+    GRAFFIX_CHECK(config_.warp_size > 0 && config_.warp_size <= 64,
+                  "warp size %u", config_.warp_size);
+  }
+
+  [[nodiscard]] const SimConfig& config() const { return config_; }
+  [[nodiscard]] const Csr& graph() const { return *graph_; }
+
+  /// Runs one lockstep sweep over `items`. For every edge (u -> v, w)
+  /// covered by an item, calls fn(u, v, w) -> bool; true means the lane
+  /// committed an atomic update to v's attribute.
+  ///
+  /// Functional state lives entirely in the caller; the engine only
+  /// observes addresses and commit flags.
+  template <typename EdgeFn>
+  void sweep(std::span<const WorkItem> items, const SweepOptions& opts,
+             EdgeFn&& fn, KernelStats& stats) {
+    sweep_gated(items, opts, [](NodeId) { return true; },
+                std::forward<EdgeFn>(fn), stats);
+  }
+
+  /// sweep() with per-source gating: lanes whose gate(src) is false idle
+  /// for the whole item (they still occupy lane slots — that idling IS
+  /// thread divergence — but issue no memory traffic), exactly like a
+  /// kernel thread that loads its vertex's state, finds nothing to do,
+  /// and falls through. The gate's own coalesced state load is charged
+  /// by the caller as a uniform kernel.
+  template <typename Gate, typename EdgeFn>
+  void sweep_gated(std::span<const WorkItem> items, const SweepOptions& opts,
+                   Gate&& gate, EdgeFn&& fn, KernelStats& stats) {
+    if (opts.charge_launch) stats.sweeps += 1;
+    const std::uint32_t ws = config_.warp_size;
+    const auto offsets = graph_->offsets();
+    (void)offsets;
+    const auto targets = graph_->targets();
+    const auto weights = graph_->weights();
+    const std::uint64_t seg_bytes = config_.transaction_bytes;
+
+    // Scratch reused across warps.
+    lane_dst_.resize(ws);
+    lane_active_.resize(ws);
+    seg_scratch_.resize(2 * ws);
+
+    lane_gated_.resize(ws);
+    lane_edge_seg_.resize(ws);
+    bank_word_.resize(config_.shared_banks);
+    for (std::size_t base = 0; base < items.size(); base += ws) {
+      std::fill(lane_edge_seg_.begin(), lane_edge_seg_.end(),
+                ~std::uint64_t{0});
+      const std::uint32_t lanes =
+          static_cast<std::uint32_t>(std::min<std::size_t>(ws, items.size() - base));
+      // Warp runs until its longest gated-in item is exhausted (thread
+      // divergence: shorter and gated-out lanes idle).
+      NodeId max_len = 0;
+      for (std::uint32_t l = 0; l < lanes; ++l) {
+        lane_gated_[l] = gate(items[base + l].src) ? 1 : 0;
+        if (lane_gated_[l]) {
+          max_len = std::max(max_len, items[base + l].edge_count);
+        }
+      }
+      for (NodeId j = 0; j < max_len; ++j) {
+        stats.warp_steps += 1;
+        stats.lane_slots += ws;
+        std::uint32_t active = 0;
+        std::uint32_t edge_segs = 0;
+        std::uint32_t attr_segs = 0;
+        std::uint32_t shared_hits = 0;
+        seg_fill_[0] = seg_fill_[1] = 0;
+        std::fill(bank_word_.begin(), bank_word_.end(), kInvalidNode);
+
+        for (std::uint32_t l = 0; l < lanes; ++l) {
+          const WorkItem& item = items[base + l];
+          if (!lane_gated_[l] || j >= item.edge_count) {
+            lane_active_[l] = 0;
+            continue;
+          }
+          lane_active_[l] = 1;
+          ++active;
+          const EdgeId e = item.edge_begin + j;
+          const NodeId v = targets[e];
+          lane_dst_[l] = v;
+          if (opts.edge_mode == EdgeLoadMode::Csr) {
+            // A lane streams its adjacency sequentially: consecutive
+            // positions share a 32B sector and hit in cache, so a lane
+            // only pays when it crosses into a new sector.
+            const std::uint64_t seg = (e * config_.edge_bytes) / seg_bytes;
+            if (seg != lane_edge_seg_[l]) {
+              lane_edge_seg_[l] = seg;
+              ++edge_segs;
+            }
+          }
+          const bool resident_pair =
+              !opts.resident.empty() &&
+              opts.resident[item.src] != kInvalidNode &&
+              opts.resident[item.src] == opts.resident[v];
+          if (opts.attr_space == AttrSpace::Shared || resident_pair) {
+            ++shared_hits;
+            // Bank-conflict bookkeeping: lanes hitting different words in
+            // the same bank serialize; same-word hits broadcast for free.
+            const std::uint32_t bank = v % config_.shared_banks;
+            if (bank_word_[bank] != kInvalidNode && bank_word_[bank] != v) {
+              stats.bank_conflicts += 1;
+            }
+            bank_word_[bank] = v;
+          } else {
+            attr_segs += insert_segment(
+                (static_cast<std::uint64_t>(v) * config_.attr_bytes) / seg_bytes,
+                /*stream=*/1);
+          }
+        }
+
+        if (opts.edge_mode == EdgeLoadMode::IdealWarpPacked && active > 0) {
+          edge_segs = 1;
+        }
+        if (opts.weighted) edge_segs *= 2;  // parallel weights stream
+        if (opts.edges_resident) {
+          stats.shared_accesses += active;
+          edge_segs = 0;
+        }
+
+        stats.active_lanes += active;
+        stats.edge_transactions += edge_segs;
+        stats.attr_transactions += attr_segs;
+        stats.shared_accesses += shared_hits;
+        // Lower bound: `active` gathers of attr_bytes each, fully packed.
+        const std::uint64_t global_attr = active - shared_hits;
+        stats.attr_ideal_transactions +=
+            (global_attr * config_.attr_bytes + seg_bytes - 1) / seg_bytes;
+
+        // Functional phase + atomic accounting. Conflicts: lanes of the
+        // same step committing to the same destination serialize.
+        std::uint32_t commits = 0;
+        for (std::uint32_t l = 0; l < lanes; ++l) {
+          if (!lane_active_[l]) continue;
+          const WorkItem& item = items[base + l];
+          const EdgeId e = item.edge_begin + j;
+          const Weight w = weights.empty() ? Weight{1} : weights[e];
+          if (fn(item.src, lane_dst_[l], w)) {
+            ++commits;
+            for (std::uint32_t p = 0; p < l; ++p) {
+              if (lane_active_[p] && lane_dst_[p] == lane_dst_[l]) {
+                stats.atomic_conflicts += 1;
+                break;
+              }
+            }
+          }
+        }
+        stats.atomic_commits += commits;
+      }
+    }
+  }
+
+  /// Charges a uniform auxiliary kernel (confluence merges, frontier
+  /// filters): n items, each touching `tx_per_item` global words.
+  void charge_uniform_kernel(std::uint64_t n_items, double tx_per_item,
+                             KernelStats& stats) const;
+
+ private:
+  // Distinct-segment insertion using two tiny per-step scratch sets
+  // (stream 0 = edges array, 1 = attributes). Returns 1 if new.
+  std::uint32_t insert_segment(std::uint64_t seg, std::uint32_t stream) {
+    const std::uint32_t lo = stream * config_.warp_size;
+    const std::uint32_t hi = lo + seg_fill_[stream];
+    for (std::uint32_t i = lo; i < hi; ++i) {
+      if (seg_scratch_[i] == seg) return 0;
+    }
+    seg_scratch_[hi] = seg;
+    ++seg_fill_[stream];
+    return 1;
+  }
+
+  const Csr* graph_;
+  SimConfig config_;
+  std::vector<NodeId> lane_dst_;
+  std::vector<std::uint8_t> lane_active_;
+  std::vector<std::uint8_t> lane_gated_;
+  std::vector<std::uint64_t> lane_edge_seg_;
+  std::vector<NodeId> bank_word_;
+  std::vector<std::uint64_t> seg_scratch_;
+  std::uint32_t seg_fill_[2] = {0, 0};
+};
+
+/// Builds one WorkItem per listed slot covering its whole adjacency.
+[[nodiscard]] std::vector<WorkItem> items_per_vertex(
+    const Csr& graph, std::span<const NodeId> slots);
+
+/// Builds items for all non-hole slots in slot order.
+[[nodiscard]] std::vector<WorkItem> items_all_vertices(const Csr& graph);
+
+}  // namespace graffix::sim

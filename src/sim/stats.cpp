@@ -1,0 +1,21 @@
+#include "sim/stats.hpp"
+
+namespace graffix::sim {
+
+KernelStats& KernelStats::operator+=(const KernelStats& other) {
+  sweeps += other.sweeps;
+  warp_steps += other.warp_steps;
+  lane_slots += other.lane_slots;
+  active_lanes += other.active_lanes;
+  edge_transactions += other.edge_transactions;
+  attr_transactions += other.attr_transactions;
+  attr_ideal_transactions += other.attr_ideal_transactions;
+  shared_accesses += other.shared_accesses;
+  bank_conflicts += other.bank_conflicts;
+  atomic_commits += other.atomic_commits;
+  atomic_conflicts += other.atomic_conflicts;
+  aux_ops += other.aux_ops;
+  return *this;
+}
+
+}  // namespace graffix::sim

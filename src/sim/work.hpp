@@ -1,0 +1,38 @@
+// Work decomposition for the SIMT engine.
+//
+// One WorkItem is what one lane processes during a sweep: a source slot
+// plus a contiguous range of its adjacency. The plain strategies emit one
+// item per vertex; the Tigr-like strategy splits high-degree vertices into
+// several items (virtual nodes) so each lane's range is bounded.
+#pragma once
+
+#include <cstdint>
+
+#include "util/types.hpp"
+
+namespace graffix::sim {
+
+struct WorkItem {
+  NodeId src;        // slot whose edges this lane walks
+  EdgeId edge_begin; // first edge index in the Csr targets array
+  NodeId edge_count; // number of edges this item covers
+};
+
+/// How lanes' loads from the edges array coalesce.
+enum class EdgeLoadMode {
+  /// Each lane streams its own adjacency range: segments counted from the
+  /// actual byte addresses (the common CSR layout).
+  Csr,
+  /// Tigr-style edge-array coalescing: the edge array is laid out so that
+  /// lanes of a warp read consecutive words; one transaction per active
+  /// step regardless of source scatter.
+  IdealWarpPacked,
+};
+
+/// Which memory space serves node-attribute accesses during a sweep.
+enum class AttrSpace {
+  Global,
+  Shared,  // cluster phases: all attributes resident in shared memory
+};
+
+}  // namespace graffix::sim

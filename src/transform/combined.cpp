@@ -1,0 +1,71 @@
+#include "transform/combined.hpp"
+
+#include "util/timer.hpp"
+
+namespace graffix::transform {
+
+CombinedResult combined_transform(const Csr& graph,
+                                  const CombinedKnobs& knobs) {
+  WallTimer timer;
+  CombinedResult result;
+  result.graph = graph;
+
+  if (knobs.coalescing.has_value()) {
+    CoalescingResult stage = coalescing_transform(result.graph,
+                                                  *knobs.coalescing);
+    result.graph = std::move(stage.graph);
+    result.renumber = std::move(stage.renumber);
+    result.replicas = std::move(stage.replicas);
+    result.edges_added += stage.edges_added;
+  }
+
+  if (knobs.latency.has_value()) {
+    LatencyResult stage = latency_transform(result.graph, *knobs.latency);
+    result.graph = std::move(stage.graph);
+    result.schedule = std::move(stage.schedule);
+    result.edges_added += stage.edges_added;
+
+    // Replicated slots stay out of shared-memory clusters: their values
+    // are rewritten by the confluence every iteration, so inner-round
+    // refinements on them are immediately invalidated and the two
+    // approximations fight each other (measurably slower convergence).
+    if (!result.replicas.empty() && !result.schedule.empty()) {
+      ClusterSchedule filtered;
+      filtered.resident.assign(result.graph.num_slots(), kInvalidNode);
+      for (const Cluster& cluster : result.schedule.clusters) {
+        Cluster kept;
+        kept.inner_iterations = cluster.inner_iterations;
+        for (NodeId member : cluster.members) {
+          if (result.replicas.group_of_slot[member] == kInvalidNode) {
+            kept.members.push_back(member);
+          }
+        }
+        if (kept.members.size() < 3) continue;
+        const auto id = static_cast<NodeId>(filtered.clusters.size());
+        for (NodeId member : kept.members) filtered.resident[member] = id;
+        filtered.clusters.push_back(std::move(kept));
+      }
+      result.schedule = std::move(filtered);
+    }
+  }
+
+  if (knobs.divergence.has_value()) {
+    DivergenceKnobs divergence = *knobs.divergence;
+    // Never reshuffle a chunk-aligned layout (see header).
+    if (result.renumber.has_value()) divergence.preserve_order = true;
+    DivergenceResult stage = divergence_transform(result.graph, divergence);
+    result.graph = std::move(stage.graph);
+    if (!divergence.preserve_order) {
+      result.warp_order = std::move(stage.warp_order);
+    }
+    result.edges_added += stage.edges_added;
+  }
+
+  const double before = static_cast<double>(graph.memory_bytes());
+  const double after = static_cast<double>(result.graph.memory_bytes());
+  result.extra_space_fraction = before == 0.0 ? 0.0 : (after - before) / before;
+  result.preprocessing_seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace graffix::transform

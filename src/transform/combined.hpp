@@ -1,0 +1,51 @@
+// Composition of the three Graffix techniques — the paper's closing
+// claim ("our techniques do not compete with the existing GPU-specific
+// optimizations, but complement those. They can be combined for improved
+// benefits.") made concrete.
+//
+// Order of application and why it is the only consistent one:
+//   1. Coalescing first: renumbering defines the slot layout everything
+//      else keys off. Later stages only ADD edges, never renumber, so
+//      the chunk alignment and the replica map stay valid.
+//   2. Latency second: clusters are selected on the (possibly
+//      renumbered) graph; the schedule stores slot sets, which survive
+//      stage 3's edge additions (the runner splits boundary/cluster
+//      edges from the final graph).
+//   3. Divergence last, in preserve_order mode when stage 1 ran: the
+//      warps are then the chunk-aligned slot ranges and only the degree
+//      normalization applies (reordering would shear the renumbered
+//      layout off its warps).
+#pragma once
+
+#include <optional>
+
+#include "transform/coalescing.hpp"
+#include "transform/divergence.hpp"
+#include "transform/latency.hpp"
+
+namespace graffix::transform {
+
+/// Which stages to run. Any subset composes; an empty selection returns
+/// the input unchanged.
+struct CombinedKnobs {
+  std::optional<CoalescingKnobs> coalescing;
+  std::optional<LatencyKnobs> latency;
+  std::optional<DivergenceKnobs> divergence;
+};
+
+struct CombinedResult {
+  Csr graph;  // final transformed graph
+  /// Stage artifacts; disengaged when the stage was not selected.
+  std::optional<RenumberResult> renumber;
+  ReplicaMap replicas;                      // empty when coalescing off
+  ClusterSchedule schedule;                 // empty when latency off
+  std::vector<NodeId> warp_order;           // empty when order preserved
+  std::uint64_t edges_added = 0;
+  double extra_space_fraction = 0.0;
+  double preprocessing_seconds = 0.0;
+};
+
+[[nodiscard]] CombinedResult combined_transform(const Csr& graph,
+                                                const CombinedKnobs& knobs);
+
+}  // namespace graffix::transform

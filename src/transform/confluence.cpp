@@ -1,0 +1,40 @@
+#include "transform/confluence.hpp"
+
+#include <cmath>
+
+namespace graffix::transform {
+
+namespace {
+template <typename T>
+std::size_t finite_mean_impl(const ReplicaMap& map, std::span<T> attr) {
+  std::size_t merges = 0;
+  for (const auto& group : map.groups) {
+    if (group.size() < 2) continue;
+    double sum = 0.0;
+    std::size_t finite = 0;
+    for (NodeId s : group) {
+      if (std::isfinite(static_cast<double>(attr[s]))) {
+        sum += static_cast<double>(attr[s]);
+        ++finite;
+      }
+    }
+    if (finite == 0) continue;
+    ++merges;
+    const T merged = static_cast<T>(sum / static_cast<double>(finite));
+    for (NodeId s : group) attr[s] = merged;
+  }
+  return merges;
+}
+}  // namespace
+
+std::size_t merge_replicas_finite_mean(const ReplicaMap& map,
+                                       std::span<float> attr) {
+  return finite_mean_impl(map, attr);
+}
+
+std::size_t merge_replicas_finite_mean(const ReplicaMap& map,
+                                       std::span<double> attr) {
+  return finite_mean_impl(map, attr);
+}
+
+}  // namespace graffix::transform

@@ -1,0 +1,86 @@
+// Replica bookkeeping and the confluence (merge) operator of §2.4.
+//
+// Node replication leaves several slots representing one logical node;
+// after every kernel iteration their attribute values are merged. The
+// paper's default operator is the algorithm-agnostic arithmetic mean;
+// algorithm-aware operators (min for distances, sum for dependencies) are
+// provided for the ablation benches.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace graffix::transform {
+
+/// Groups of slots that represent the same logical node.
+struct ReplicaMap {
+  /// groups[g] lists the member slots; groups[g][0] is the primary (the
+  /// original node's slot).
+  std::vector<std::vector<NodeId>> groups;
+  /// Per-slot group id, kInvalidNode when the slot is unreplicated.
+  std::vector<NodeId> group_of_slot;
+
+  [[nodiscard]] bool empty() const { return groups.empty(); }
+  [[nodiscard]] std::size_t replica_count() const {
+    std::size_t count = 0;
+    for (const auto& g : groups) count += g.size() - 1;
+    return count;
+  }
+};
+
+enum class MergeOp {
+  Mean,  // paper's algorithm-agnostic default
+  Min,   // algorithm-aware: distances
+  Max,
+  Sum,   // algorithm-aware: path counts / dependencies
+};
+
+/// Merges every replica group's attribute values in place; all members of
+/// a group end with the merged value. Returns the number of merges.
+template <typename T>
+std::size_t merge_replicas(const ReplicaMap& map, std::span<T> attr,
+                           MergeOp op) {
+  std::size_t merges = 0;
+  for (const auto& group : map.groups) {
+    if (group.size() < 2) continue;
+    ++merges;
+    T merged{};
+    switch (op) {
+      case MergeOp::Mean: {
+        double sum = 0.0;
+        for (NodeId s : group) sum += static_cast<double>(attr[s]);
+        merged = static_cast<T>(sum / static_cast<double>(group.size()));
+        break;
+      }
+      case MergeOp::Min: {
+        merged = attr[group[0]];
+        for (NodeId s : group) merged = attr[s] < merged ? attr[s] : merged;
+        break;
+      }
+      case MergeOp::Max: {
+        merged = attr[group[0]];
+        for (NodeId s : group) merged = attr[s] > merged ? attr[s] : merged;
+        break;
+      }
+      case MergeOp::Sum: {
+        double sum = 0.0;
+        for (NodeId s : group) sum += static_cast<double>(attr[s]);
+        merged = static_cast<T>(sum);
+        break;
+      }
+    }
+    for (NodeId s : group) attr[s] = merged;
+  }
+  return merges;
+}
+
+/// Mean-merge variant that skips non-finite values (distances of replicas
+/// not yet reached stay infinite and must not poison the mean).
+std::size_t merge_replicas_finite_mean(const ReplicaMap& map,
+                                       std::span<float> attr);
+std::size_t merge_replicas_finite_mean(const ReplicaMap& map,
+                                       std::span<double> attr);
+
+}  // namespace graffix::transform

@@ -1,0 +1,160 @@
+#include "transform/divergence.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+#include "util/macros.hpp"
+
+namespace graffix::transform {
+
+namespace {
+
+double degree_uniformity(const std::vector<NodeId>& order,
+                         const std::vector<NodeId>& degree,
+                         std::uint32_t warp_size) {
+  std::uint64_t useful = 0, issued = 0;
+  for (std::size_t base = 0; base < order.size(); base += warp_size) {
+    const std::size_t hi = std::min(order.size(), base + warp_size);
+    NodeId max_deg = 0;
+    for (std::size_t i = base; i < hi; ++i) {
+      max_deg = std::max(max_deg, degree[order[i]]);
+      useful += degree[order[i]];
+    }
+    issued += static_cast<std::uint64_t>(max_deg) * warp_size;
+  }
+  return issued == 0 ? 1.0
+                     : static_cast<double>(useful) / static_cast<double>(issued);
+}
+
+}  // namespace
+
+DivergenceResult divergence_transform(const Csr& graph,
+                                      const DivergenceKnobs& knobs) {
+  // Hole-aware: holes ride along as zero-degree slots (they are never
+  // boosted and bucket to the tail / stay in place under preserve_order).
+  const NodeId n = graph.num_slots();
+  const std::uint32_t ws = knobs.warp_size;
+  const bool weighted = graph.has_weights();
+
+  DivergenceResult result;
+
+  std::vector<NodeId> degree(n);
+  for (NodeId u = 0; u < n; ++u) degree[u] = graph.degree(u);
+
+  // Bucket sort by degree: nodes land in power-of-two degree buckets
+  // ("similar degrees together", §4) rather than a full sort — this is
+  // what the paper's bucket sort does, and the residual intra-warp
+  // spread is exactly what the edge-insertion step then normalizes.
+  // Buckets descending (hub warps first), stable by id within a bucket.
+  // All degrees below 8 share one bucket: a warp cannot lose a
+  // meaningful lane fraction to single-digit degree spread, and leaving
+  // near-uniform graphs (roads, ER) in their original order preserves
+  // whatever locality that order carries.
+  auto bucket_of = [](NodeId d) {
+    return d < 8 ? 3u : 32u - static_cast<unsigned>(__builtin_clz(d));
+  };
+  result.warp_order.resize(n);
+  std::iota(result.warp_order.begin(), result.warp_order.end(), NodeId{0});
+  if (!knobs.preserve_order) {
+    std::stable_sort(result.warp_order.begin(), result.warp_order.end(),
+                     [&](NodeId a, NodeId b) {
+                       return bucket_of(degree[a]) > bucket_of(degree[b]);
+                     });
+  }
+
+  result.degree_uniformity_before =
+      degree_uniformity(result.warp_order, degree, ws);
+
+  const auto budget = static_cast<std::uint64_t>(
+      knobs.edge_budget_fraction * static_cast<double>(graph.num_edges()));
+
+  std::vector<std::vector<std::pair<NodeId, Weight>>> extra(n);
+  std::uint64_t added_total = 0;
+
+  std::unordered_set<NodeId> existing;
+  for (std::size_t base = 0; base < result.warp_order.size() && added_total < budget;
+       base += ws) {
+    const std::size_t hi = std::min(result.warp_order.size(), base + ws);
+    NodeId max_deg = 0;
+    for (std::size_t i = base; i < hi; ++i) {
+      max_deg = std::max(max_deg, degree[result.warp_order[i]]);
+    }
+    if (max_deg == 0) continue;
+    const auto target = static_cast<NodeId>(knobs.boost_to * max_deg);
+
+    for (std::size_t i = base; i < hi && added_total < budget; ++i) {
+      const NodeId u = result.warp_order[i];
+      const NodeId d = degree[u];
+      if (d == 0 || d >= target) continue;
+      const double degree_sim =
+          1.0 - static_cast<double>(d) / static_cast<double>(max_deg);
+      if (degree_sim > knobs.degree_sim_threshold) continue;
+
+      NodeId needed = target - d;
+      existing.clear();
+      existing.insert(u);
+      for (NodeId v : graph.neighbors(u)) existing.insert(v);
+
+      // 2-hop destinations, in adjacency order for determinism.
+      const auto nbrs = graph.neighbors(u);
+      const auto wts =
+          weighted ? graph.edge_weights(u) : std::span<const Weight>{};
+      for (std::size_t p = 0;
+           p < nbrs.size() && needed > 0 && added_total < budget; ++p) {
+        const NodeId mid = nbrs[p];
+        const Weight w1 = weighted ? wts[p] : Weight{1};
+        const auto hops = graph.neighbors(mid);
+        const auto hop_wts =
+            weighted ? graph.edge_weights(mid) : std::span<const Weight>{};
+        for (std::size_t q = 0;
+             q < hops.size() && needed > 0 && added_total < budget; ++q) {
+          const NodeId dst = hops[q];
+          if (existing.contains(dst)) continue;
+          const Weight w2 = weighted ? hop_wts[q] : Weight{1};
+          extra[u].emplace_back(dst, w1 + w2);
+          existing.insert(dst);
+          --needed;
+          ++added_total;
+          if (added_total >= budget) break;
+        }
+      }
+    }
+  }
+  result.edges_added = added_total;
+
+  // Rebuild the Csr with extra arcs appended per node.
+  std::vector<EdgeId> offsets(static_cast<std::size_t>(n) + 1, 0);
+  for (NodeId u = 0; u < n; ++u) {
+    offsets[u + 1] = offsets[u] + graph.degree(u) + extra[u].size();
+  }
+  std::vector<NodeId> targets(offsets.back());
+  std::vector<Weight> weights(weighted ? offsets.back() : 0);
+  for (NodeId u = 0; u < n; ++u) {
+    EdgeId pos = offsets[u];
+    const auto nbrs = graph.neighbors(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i, ++pos) {
+      targets[pos] = nbrs[i];
+      if (weighted) weights[pos] = graph.edge_weights(u)[i];
+    }
+    for (const auto& [dst, w] : extra[u]) {
+      targets[pos] = dst;
+      if (weighted) weights[pos] = w;
+      ++pos;
+    }
+  }
+  result.graph = Csr(std::move(offsets), std::move(targets), std::move(weights),
+                     {graph.holes().begin(), graph.holes().end()});
+
+  std::vector<NodeId> new_degree(n);
+  for (NodeId u = 0; u < n; ++u) new_degree[u] = result.graph.degree(u);
+  result.degree_uniformity_after =
+      degree_uniformity(result.warp_order, new_degree, ws);
+
+  const double before = static_cast<double>(graph.memory_bytes());
+  const double after = static_cast<double>(result.graph.memory_bytes());
+  result.extra_space_fraction = before == 0.0 ? 0.0 : (after - before) / before;
+  return result;
+}
+
+}  // namespace graffix::transform

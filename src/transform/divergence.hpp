@@ -1,0 +1,40 @@
+// §4 thread-divergence transform: degree bucketing + degree
+// normalization via 2-hop edge insertion.
+//
+// Nodes are bucket-sorted by out-degree; warps are formed over the sorted
+// order so warp members have similar degrees. Within each warp, a node
+// whose degree deficit relative to the warp max is small —
+// degreeSim = 1 - deg/maxDeg <= threshold — is topped up to
+// boost_to x maxDeg by adding edges to its 2-hop neighbors; the weight of
+// a new edge is the sum of the two hops it shortcuts (§4's rule for
+// weighted algorithms), so the propagated information stays conservative
+// for shortest-path-like computations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "transform/knobs.hpp"
+
+namespace graffix::transform {
+
+struct DivergenceResult {
+  Csr graph;  // original plus inserted 2-hop edges (same ids, no holes)
+  /// Slot processing order (the bucket sort): warp w covers
+  /// warp_order[w*warp_size .. (w+1)*warp_size).
+  std::vector<NodeId> warp_order;
+  std::uint64_t edges_added = 0;
+  double extra_space_fraction = 0.0;
+  /// Mean SIMD-efficiency proxy before/after, computed from degrees:
+  /// sum(deg) / sum(warp_max_deg * warp_size).
+  double degree_uniformity_before = 0.0;
+  double degree_uniformity_after = 0.0;
+};
+
+/// Runs the divergence transform. threshold = 0 only bucket-sorts (an
+/// exact transformation; the ablation baseline).
+[[nodiscard]] DivergenceResult divergence_transform(const Csr& graph,
+                                                    const DivergenceKnobs& knobs);
+
+}  // namespace graffix::transform

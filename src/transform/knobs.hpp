@@ -1,0 +1,69 @@
+// The tunable approximation knobs — one struct per technique, defaults
+// matching the paper's experimental settings (§5).
+#pragma once
+
+#include <cstdint>
+
+namespace graffix::transform {
+
+/// §2: memory-coalescing transform (renumber + replicate).
+struct CoalescingKnobs {
+  /// Chunk size k (1 <= k <= warp size); levels start at multiples of k.
+  /// Paper uses k = 16.
+  std::uint32_t chunk_size = 16;
+  /// Connectedness threshold for replication: 0.6 for power-law graphs,
+  /// 0.4 for road networks (§5.2).
+  double connectedness_threshold = 0.6;
+  /// Cap on new 2-hop edges added per replica (the paper adds "only a
+  /// few" per replica by restricting the view to one chunk).
+  std::uint32_t max_new_edges_per_replica = 8;
+  /// Cap on copies per node. The arithmetic-mean confluence of a group
+  /// with g members converges at rate (g-1)/g per iteration, so huge hub
+  /// groups pay their coalescing win back in extra iterations.
+  std::uint32_t max_replicas_per_node = 4;
+};
+
+/// §3: memory-latency transform (clustering-coefficient clusters in
+/// shared memory).
+struct LatencyKnobs {
+  /// Nodes with CC >= threshold anchor shared-memory clusters; the paper
+  /// recommends keeping this "relatively high".
+  double cc_threshold = 0.8;
+  /// Nodes with CC in [threshold - near_delta, threshold) are promoted by
+  /// edge insertion (scenario 1 in §3).
+  double near_delta = 0.15;
+  /// Global limit on inserted edges, as a fraction of |E| ("we maintain a
+  /// global limit for the number of edges added").
+  double edge_budget_fraction = 0.05;
+  /// Cap on insertions per anchor node ("only a few edges are added in
+  /// this manner") — without it a large near-threshold anchor would grow
+  /// a clique over its whole neighborhood.
+  std::uint32_t max_edges_per_anchor = 8;
+  /// Maximum cluster size (anchor + neighbors) so attributes fit in the
+  /// simulated shared memory.
+  std::uint32_t cluster_cap = 256;
+  /// Maximum number of clusters scheduled.
+  std::uint32_t max_clusters = 4096;
+  /// Inner iteration multiplier: t = t_diameter_factor * diameter.
+  double t_diameter_factor = 2.0;
+};
+
+/// §4: thread-divergence transform (degree bucketing + normalization).
+struct DivergenceKnobs {
+  /// Nodes whose degreeSim = 1 - deg/warpMax is positive but at most this
+  /// threshold get boosted (paper sweeps this in Fig. 9, best ~0.3).
+  double degree_sim_threshold = 0.3;
+  /// Boost target as a fraction of the warp's max degree (paper: 85%).
+  double boost_to = 0.85;
+  /// Warp width used for grouping.
+  std::uint32_t warp_size = 32;
+  /// Global limit on inserted edges as a fraction of |E|.
+  double edge_budget_fraction = 0.10;
+  /// Keep the existing slot order instead of bucket-sorting. Used when
+  /// composing with the coalescing transform, whose chunk-aligned layout
+  /// must not be reshuffled; warps are then the fixed slot ranges and
+  /// only the degree normalization applies.
+  bool preserve_order = false;
+};
+
+}  // namespace graffix::transform

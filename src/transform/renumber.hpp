@@ -1,0 +1,66 @@
+// Step 1 of the coalescing transform (Algorithm 2 in the paper):
+// BFS-forest vertex renumbering with chunk-aligned levels.
+//
+// Roots are picked in decreasing out-degree order among unvisited nodes;
+// BFS relaxes levels downward across traversals (a later root can lower
+// the level of an already-visited node, as in the paper's Figure 2
+// walkthrough). Ids are then assigned level by level: level 0 nodes
+// first, then for each level i the j-th unnumbered neighbors of level-i
+// nodes in round-robin order. Every level's ids start at a multiple of
+// the chunk size k, which creates *holes* — unoccupied slots the
+// replication step later fills.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace graffix::transform {
+
+struct RenumberResult {
+  std::uint32_t chunk_size = 0;
+  NodeId num_slots = 0;  // includes holes; multiple of chunk_size
+  /// Old node id -> new slot.
+  std::vector<NodeId> slot_of_node;
+  /// Slot -> old node id; kInvalidNode for holes.
+  std::vector<NodeId> node_of_slot;
+  /// BFS-forest level of every slot (holes inherit their level's value).
+  std::vector<NodeId> level_of_slot;
+  /// First slot of each level; level_start[i] is a multiple of chunk_size.
+  std::vector<NodeId> level_start;
+
+  [[nodiscard]] NodeId num_levels() const {
+    return static_cast<NodeId>(level_start.size());
+  }
+  [[nodiscard]] bool is_hole_slot(NodeId slot) const {
+    return node_of_slot[slot] == kInvalidNode;
+  }
+  [[nodiscard]] NodeId hole_count() const {
+    return num_slots - static_cast<NodeId>(slot_of_node.size());
+  }
+};
+
+/// Computes the Graffix renumbering for chunk size k (1 <= k <= 32).
+[[nodiscard]] RenumberResult renumber_bfs_forest(const Csr& graph,
+                                                 std::uint32_t k);
+
+/// Materializes the renumbered, hole-aware isomorph of `graph`: slot s
+/// carries old node node_of_slot[s] with targets remapped through
+/// slot_of_node. Neighbor order is preserved.
+[[nodiscard]] Csr apply_renumbering(const Csr& graph,
+                                    const RenumberResult& renumber);
+
+/// Projects a per-slot attribute vector back onto original node ids
+/// (attr_nodes[v] = attr_slots[slot_of_node[v]]).
+template <typename T>
+std::vector<T> project_to_nodes(const RenumberResult& renumber,
+                                std::span<const T> attr_slots) {
+  std::vector<T> out(renumber.slot_of_node.size());
+  for (std::size_t v = 0; v < out.size(); ++v) {
+    out[v] = attr_slots[renumber.slot_of_node[v]];
+  }
+  return out;
+}
+
+}  // namespace graffix::transform

@@ -1,0 +1,264 @@
+#include "transform/replicate.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/macros.hpp"
+#include "util/parallel.hpp"
+
+namespace graffix::transform {
+
+namespace {
+
+struct Candidate {
+  NodeId node;      // primary slot to replicate
+  NodeId chunk;     // chunk the node is well connected to
+  NodeId edge_count;
+};
+
+}  // namespace
+
+ReplicationResult replicate_into_holes(const Csr& renumbered,
+                                       const RenumberResult& renumber,
+                                       const CoalescingKnobs& knobs) {
+  const std::uint32_t k = knobs.chunk_size;
+  const NodeId slots = renumbered.num_slots();
+  GRAFFIX_CHECK(slots % k == 0, "slot count %u not chunk aligned", slots);
+  const NodeId num_chunks = slots / k;
+  const bool weighted = renumbered.has_weights();
+
+  ReplicationResult result;
+
+  // connectedness can exceed 1.0 on multigraphs (parallel arcs into a
+  // sparse chunk), so thresholds above 1.0 explicitly mean "replication
+  // disabled" — the exactness ablation relies on this.
+  if (knobs.connectedness_threshold > 1.0) {
+    result.graph = renumbered;
+    result.replicas.group_of_slot.assign(slots, kInvalidNode);
+    for (NodeId s = 0; s < slots; ++s) {
+      if (renumbered.is_hole(s)) ++result.holes_total;
+    }
+    return result;
+  }
+
+  // --- Chunk geometry -----------------------------------------------------
+  // Levels never straddle chunks (level starts are multiples of k).
+  std::vector<NodeId> chunk_level(num_chunks);
+  std::vector<NodeId> chunk_nonholes(num_chunks, 0);
+  std::vector<std::vector<NodeId>> chunk_holes(num_chunks);
+  for (NodeId s = 0; s < slots; ++s) {
+    const NodeId c = s / k;
+    if (s % k == 0) chunk_level[c] = renumber.level_of_slot[s];
+    if (renumbered.is_hole(s)) {
+      chunk_holes[c].push_back(s);
+      ++result.holes_total;
+    } else {
+      ++chunk_nonholes[c];
+    }
+  }
+  const NodeId num_levels = renumber.num_levels();
+  std::vector<std::uint8_t> level_has_holes(num_levels, 0);
+  std::vector<NodeId> level_free_holes(num_levels, 0);
+  for (NodeId c = 0; c < num_chunks; ++c) {
+    if (!chunk_holes[c].empty()) {
+      level_has_holes[chunk_level[c]] = 1;
+      level_free_holes[chunk_level[c]] +=
+          static_cast<NodeId>(chunk_holes[c].size());
+    }
+  }
+
+  // --- Candidate enumeration (lines 22-29 of Algorithm 2) -----------------
+  // Edges from each node n to each chunk C whose parent level has holes.
+  std::vector<Candidate> candidates;
+  {
+    // Candidate enumeration is the transform's hot loop; per-thread
+    // buffers keep it deterministic (the global sort below fixes the
+    // final order regardless of thread count).
+    const int threads = num_threads();
+    std::vector<std::vector<Candidate>> local(threads);
+#pragma omp parallel num_threads(threads)
+    {
+      const int t = omp_get_thread_num();
+      std::unordered_map<NodeId, NodeId> counts;  // chunk -> edge count
+#pragma omp for schedule(dynamic, 256)
+      for (std::int64_t n64 = 0; n64 < static_cast<std::int64_t>(slots);
+           ++n64) {
+        const auto n = static_cast<NodeId>(n64);
+        if (renumbered.is_hole(n)) continue;
+        counts.clear();
+        for (NodeId v : renumbered.neighbors(n)) {
+          const NodeId c = v / k;
+          const NodeId lvl = chunk_level[c];
+          if (lvl == 0 || !level_has_holes[lvl - 1]) continue;
+          counts[c]++;
+        }
+        for (const auto& [c, cnt] : counts) {
+          if (chunk_nonholes[c] == 0) continue;
+          const double connectedness =
+              static_cast<double>(cnt) / static_cast<double>(chunk_nonholes[c]);
+          if (connectedness >= knobs.connectedness_threshold && cnt >= 2) {
+            local[t].push_back({n, c, cnt});
+          }
+        }
+      }
+    }
+    for (auto& chunk_list : local) {
+      candidates.insert(candidates.end(), chunk_list.begin(),
+                        chunk_list.end());
+    }
+  }
+  // Higher edge-count first; deterministic tie-break.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.edge_count != b.edge_count) return a.edge_count > b.edge_count;
+              if (a.node != b.node) return a.node < b.node;
+              return a.chunk < b.chunk;
+            });
+
+  // --- Parent-chunk preference ---------------------------------------------
+  // For a chunk C, prefer placing replicas in the level-(l-1) chunk holding
+  // the most in-neighbors (BFS parents) of C's members.
+  const Csr reverse = renumbered.transpose();
+  auto parent_chunk_hint = [&](NodeId c) -> NodeId {
+    const NodeId lvl = chunk_level[c];
+    if (lvl == 0) return kInvalidNode;
+    std::unordered_map<NodeId, NodeId> score;
+    const NodeId lo = c * k, hi = lo + k;
+    for (NodeId s = lo; s < hi; ++s) {
+      if (renumbered.is_hole(s)) continue;
+      for (NodeId p : reverse.neighbors(s)) {
+        const NodeId pc = p / k;
+        if (chunk_level[pc] == lvl - 1) score[pc]++;
+      }
+    }
+    NodeId best = kInvalidNode, best_score = 0;
+    for (const auto& [pc, sc] : score) {
+      if (chunk_holes[pc].empty()) continue;
+      if (sc > best_score || (sc == best_score && pc < best)) {
+        best = pc;
+        best_score = sc;
+      }
+    }
+    return best;
+  };
+
+  // --- Mutable adjacency ----------------------------------------------------
+  struct Arc {
+    NodeId dst;
+    Weight w;
+  };
+  std::vector<std::vector<Arc>> adj(slots);
+  for (NodeId s = 0; s < slots; ++s) {
+    const auto nbrs = renumbered.neighbors(s);
+    adj[s].reserve(nbrs.size());
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      adj[s].push_back(
+          {nbrs[i], weighted ? renumbered.edge_weights(s)[i] : Weight{1}});
+    }
+  }
+  std::vector<std::uint8_t> holes(slots, 0);
+  for (NodeId s = 0; s < slots; ++s) holes[s] = renumbered.is_hole(s) ? 1 : 0;
+
+  ReplicaMap& map = result.replicas;
+  map.group_of_slot.assign(slots, kInvalidNode);
+
+  // --- Replication (lines 29-35) -------------------------------------------
+  for (const Candidate& cand : candidates) {
+    const NodeId lvl = chunk_level[cand.chunk];
+    if (lvl == 0 || level_free_holes[lvl - 1] == 0) continue;
+    // Never replicate a replica, and respect the per-node copy cap.
+    if (map.group_of_slot[cand.node] != kInvalidNode) {
+      const auto& group = map.groups[map.group_of_slot[cand.node]];
+      if (group[0] != cand.node) continue;
+      if (group.size() > knobs.max_replicas_per_node) continue;
+    }
+
+    // Pick the hole: parent-chunk hint, else any chunk with a free hole at
+    // the parent level.
+    NodeId target_chunk = parent_chunk_hint(cand.chunk);
+    if (target_chunk == kInvalidNode) {
+      for (NodeId c = 0; c < num_chunks; ++c) {
+        if (chunk_level[c] == lvl - 1 && !chunk_holes[c].empty()) {
+          target_chunk = c;
+          break;
+        }
+      }
+    }
+    if (target_chunk == kInvalidNode) continue;
+    const NodeId replica = chunk_holes[target_chunk].back();
+    chunk_holes[target_chunk].pop_back();
+    --level_free_holes[lvl - 1];
+    holes[replica] = 0;
+
+    // Move n's edges into the chunk onto the replica.
+    const NodeId chunk_lo = cand.chunk * k;
+    const NodeId chunk_hi = chunk_lo + k;
+    auto in_chunk = [&](NodeId v) { return v >= chunk_lo && v < chunk_hi; };
+    std::vector<Arc> moved;
+    auto& primary_adj = adj[cand.node];
+    for (auto it = primary_adj.begin(); it != primary_adj.end();) {
+      if (in_chunk(it->dst)) {
+        moved.push_back(*it);
+        it = primary_adj.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    result.edges_moved += moved.size();
+
+    // New 2-hop edges inside the chunk (the approximation knob).
+    std::uint32_t added = 0;
+    std::vector<Arc> extra;
+    for (const Arc& hop1 : moved) {
+      if (added >= knobs.max_new_edges_per_replica) break;
+      for (const Arc& hop2 : adj[hop1.dst]) {
+        if (added >= knobs.max_new_edges_per_replica) break;
+        const NodeId q = hop2.dst;
+        if (!in_chunk(q) || q == cand.node || q == replica) continue;
+        const bool exists =
+            std::any_of(moved.begin(), moved.end(),
+                        [q](const Arc& a) { return a.dst == q; }) ||
+            std::any_of(extra.begin(), extra.end(),
+                        [q](const Arc& a) { return a.dst == q; });
+        if (exists) continue;
+        extra.push_back({q, hop1.w + hop2.w});
+        ++added;
+      }
+    }
+    result.edges_added += extra.size();
+
+    auto& replica_adj = adj[replica];
+    replica_adj = std::move(moved);
+    replica_adj.insert(replica_adj.end(), extra.begin(), extra.end());
+
+    // Record the replica group.
+    NodeId group = map.group_of_slot[cand.node];
+    if (group == kInvalidNode) {
+      group = static_cast<NodeId>(map.groups.size());
+      map.groups.push_back({cand.node});
+      map.group_of_slot[cand.node] = group;
+    }
+    map.groups[group].push_back(replica);
+    map.group_of_slot[replica] = group;
+    ++result.holes_filled;
+  }
+
+  // --- Rebuild the Csr -------------------------------------------------------
+  std::vector<EdgeId> offsets(static_cast<std::size_t>(slots) + 1, 0);
+  for (NodeId s = 0; s < slots; ++s) offsets[s + 1] = offsets[s] + adj[s].size();
+  std::vector<NodeId> targets(offsets.back());
+  std::vector<Weight> weights(weighted ? offsets.back() : 0);
+  for (NodeId s = 0; s < slots; ++s) {
+    EdgeId pos = offsets[s];
+    for (const Arc& a : adj[s]) {
+      targets[pos] = a.dst;
+      if (weighted) weights[pos] = a.w;
+      ++pos;
+    }
+  }
+  result.graph = Csr(std::move(offsets), std::move(targets), std::move(weights),
+                     std::move(holes));
+  return result;
+}
+
+}  // namespace graffix::transform

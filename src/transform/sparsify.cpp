@@ -1,0 +1,53 @@
+#include "transform/sparsify.hpp"
+
+#include <vector>
+
+#include "util/macros.hpp"
+#include "util/rng.hpp"
+
+namespace graffix::transform {
+
+SparsifyResult sparsify_transform(const Csr& graph,
+                                  const SparsifyKnobs& knobs) {
+  GRAFFIX_CHECK(knobs.drop_fraction >= 0.0 && knobs.drop_fraction <= 1.0,
+                "drop fraction out of range");
+  const NodeId n = graph.num_slots();
+  const bool weighted = graph.has_weights();
+  Pcg32 rng = make_stream(knobs.seed, 0xd20b);
+
+  SparsifyResult result;
+  std::vector<EdgeId> offsets(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<NodeId> targets;
+  std::vector<Weight> weights;
+  targets.reserve(graph.num_edges());
+  if (weighted) weights.reserve(graph.num_edges());
+
+  for (NodeId u = 0; u < n; ++u) {
+    const auto nbrs = graph.neighbors(u);
+    const auto wts =
+        weighted ? graph.edge_weights(u) : std::span<const Weight>{};
+    const std::size_t before = targets.size();
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (rng.next_double() < knobs.drop_fraction) {
+        ++result.edges_dropped;
+        continue;
+      }
+      targets.push_back(nbrs[i]);
+      if (weighted) weights.push_back(wts[i]);
+    }
+    if (knobs.keep_one_edge_per_vertex && targets.size() == before &&
+        !nbrs.empty()) {
+      // Resurrect one kept edge (the first) so the vertex keeps pushing.
+      targets.push_back(nbrs[0]);
+      if (weighted) weights.push_back(wts[0]);
+      --result.edges_dropped;
+    }
+    offsets[u + 1] = targets.size();
+  }
+  result.graph = Csr(std::move(offsets), std::move(targets),
+                     std::move(weights),
+                     {graph.holes().begin(), graph.holes().end()});
+  return result;
+}
+
+}  // namespace graffix::transform

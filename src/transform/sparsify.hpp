@@ -1,0 +1,38 @@
+// Comparator: algorithm-agnostic approximation by edge sparsification,
+// standing in for Singh & Nasre's earlier approximate-computing baseline
+// (TMSCS 2018, the paper's reference [28]). The paper positions Graffix
+// against it: "the average inaccuracy using their method is close to
+// 20%. In contrast, Graffix incurs only half of its precision loss."
+//
+// The 2018 work drops graph elements uniformly to shrink the work; this
+// module implements the edge-dropping variant with a drop-fraction knob
+// so `bench_extension_vs_sparsification` can reproduce the comparison:
+// at matched speedups, structured (Graffix) approximation should lose
+// roughly half the accuracy of unstructured dropping.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr.hpp"
+
+namespace graffix::transform {
+
+struct SparsifyKnobs {
+  /// Fraction of edges dropped uniformly at random.
+  double drop_fraction = 0.1;
+  /// Keep at least one outgoing edge per vertex (prevents creating
+  /// artificial sinks, which would disconnect SSSP/BC wholesale).
+  bool keep_one_edge_per_vertex = true;
+  std::uint64_t seed = 0x5a55;
+};
+
+struct SparsifyResult {
+  Csr graph;
+  std::uint64_t edges_dropped = 0;
+};
+
+/// Uniform random edge dropping. Deterministic for a fixed seed.
+[[nodiscard]] SparsifyResult sparsify_transform(const Csr& graph,
+                                                const SparsifyKnobs& knobs);
+
+}  // namespace graffix::transform

@@ -1,0 +1,59 @@
+// Fixed-size concurrent bitset for frontier bookkeeping in the parallel
+// traversals (BFS forest construction, FW-BW SCC, data-driven sweeps).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace graffix {
+
+/// Bitset supporting concurrent set/test. Clearing is not thread-safe and
+/// must happen between parallel phases.
+class AtomicBitset {
+ public:
+  AtomicBitset() = default;
+  explicit AtomicBitset(std::size_t bits) { resize(bits); }
+
+  void resize(std::size_t bits) {
+    bits_ = bits;
+    words_ = std::vector<std::atomic<std::uint64_t>>((bits + 63) / 64);
+    clear();
+  }
+
+  [[nodiscard]] std::size_t size() const { return bits_; }
+
+  void clear() {
+    for (auto& w : words_) w.store(0, std::memory_order_relaxed);
+  }
+
+  /// Atomically set bit i; returns true if this call flipped it 0 -> 1.
+  bool set(std::size_t i) {
+    const std::uint64_t mask = 1ULL << (i & 63);
+    const std::uint64_t prev =
+        words_[i >> 6].fetch_or(mask, std::memory_order_relaxed);
+    return (prev & mask) == 0;
+  }
+
+  [[nodiscard]] bool test(std::size_t i) const {
+    const std::uint64_t mask = 1ULL << (i & 63);
+    return (words_[i >> 6].load(std::memory_order_relaxed) & mask) != 0;
+  }
+
+  /// Population count; not synchronized with concurrent writers.
+  [[nodiscard]] std::size_t count() const {
+    std::size_t total = 0;
+    for (const auto& w : words_) {
+      total += static_cast<std::size_t>(
+          __builtin_popcountll(w.load(std::memory_order_relaxed)));
+    }
+    return total;
+  }
+
+ private:
+  std::size_t bits_ = 0;
+  std::vector<std::atomic<std::uint64_t>> words_;
+};
+
+}  // namespace graffix

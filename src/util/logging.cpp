@@ -1,0 +1,55 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace graffix {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug:
+      return "DEBUG";
+    case LogLevel::Info:
+      return "INFO";
+    case LogLevel::Warn:
+      return "WARN";
+    case LogLevel::Error:
+      return "ERROR";
+    case LogLevel::Off:
+      return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+namespace detail {
+void vlog(LogLevel level, const char* fmt, std::va_list args) {
+  if (level < g_level.load(std::memory_order_relaxed)) return;
+  std::fprintf(stderr, "[graffix %s] ", level_tag(level));
+  std::vfprintf(stderr, fmt, args);
+  std::fputc('\n', stderr);
+}
+}  // namespace detail
+
+#define GRAFFIX_DEFINE_LOG(name, level)          \
+  void name(const char* fmt, ...) {              \
+    std::va_list args;                           \
+    va_start(args, fmt);                         \
+    detail::vlog(level, fmt, args);              \
+    va_end(args);                                \
+  }
+
+GRAFFIX_DEFINE_LOG(log_debug, LogLevel::Debug)
+GRAFFIX_DEFINE_LOG(log_info, LogLevel::Info)
+GRAFFIX_DEFINE_LOG(log_warn, LogLevel::Warn)
+GRAFFIX_DEFINE_LOG(log_error, LogLevel::Error)
+
+#undef GRAFFIX_DEFINE_LOG
+
+}  // namespace graffix

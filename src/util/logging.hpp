@@ -1,0 +1,30 @@
+// Minimal leveled logger. Bench harnesses set the level from --verbose;
+// library code logs at Debug/Info and never writes to stdout (reserved for
+// table output).
+#pragma once
+
+#include <cstdarg>
+
+namespace graffix {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void vlog(LogLevel level, const char* fmt, std::va_list args);
+}
+
+#if defined(__GNUC__)
+#define GRAFFIX_PRINTF(a, b) __attribute__((format(printf, a, b)))
+#else
+#define GRAFFIX_PRINTF(a, b)
+#endif
+
+void log_debug(const char* fmt, ...) GRAFFIX_PRINTF(1, 2);
+void log_info(const char* fmt, ...) GRAFFIX_PRINTF(1, 2);
+void log_warn(const char* fmt, ...) GRAFFIX_PRINTF(1, 2);
+void log_error(const char* fmt, ...) GRAFFIX_PRINTF(1, 2);
+
+}  // namespace graffix

@@ -1,0 +1,27 @@
+// Assertion and checking macros.
+//
+// GRAFFIX_CHECK is always on (cheap invariant checks at API boundaries);
+// GRAFFIX_DCHECK compiles away in release builds and guards hot loops.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#define GRAFFIX_CHECK(cond, ...)                                          \
+  do {                                                                    \
+    if (!(cond)) [[unlikely]] {                                           \
+      std::fprintf(stderr, "GRAFFIX_CHECK failed at %s:%d: %s\n",         \
+                   __FILE__, __LINE__, #cond);                            \
+      std::fprintf(stderr, "  " __VA_ARGS__);                             \
+      std::fprintf(stderr, "\n");                                         \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#ifdef NDEBUG
+#define GRAFFIX_DCHECK(cond, ...) \
+  do {                            \
+  } while (0)
+#else
+#define GRAFFIX_DCHECK(cond, ...) GRAFFIX_CHECK(cond, __VA_ARGS__)
+#endif

@@ -1,0 +1,19 @@
+#include "util/parallel.hpp"
+
+namespace graffix {
+
+namespace {
+int g_override_threads = 0;
+}
+
+int num_threads() {
+  if (g_override_threads > 0) return g_override_threads;
+  return omp_get_max_threads();
+}
+
+void set_num_threads(int n) {
+  g_override_threads = n;
+  if (n > 0) omp_set_num_threads(n);
+}
+
+}  // namespace graffix

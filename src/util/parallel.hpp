@@ -1,0 +1,93 @@
+// Structured host parallelism built on OpenMP.
+//
+// Graffix's preprocessing transforms and the exact host algorithms are
+// parallelized with these helpers rather than raw pragmas so that grain
+// size, determinism requirements, and thread counts are controlled in one
+// place (per the repo's HPC guidelines: all parallelism is explicit and
+// scoped; no detached threads).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+#include <omp.h>
+
+namespace graffix {
+
+/// Number of worker threads OpenMP will use.
+int num_threads();
+
+/// Override the worker count (0 = hardware default). Used by tests to pin
+/// determinism-sensitive paths.
+void set_num_threads(int n);
+
+/// parallel_for over [begin, end) with static scheduling. The body must be
+/// safe to run concurrently for distinct indices.
+template <typename Index, typename Body>
+void parallel_for(Index begin, Index end, Body&& body) {
+  const auto n = static_cast<std::int64_t>(end) - static_cast<std::int64_t>(begin);
+  if (n <= 0) return;
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < n; ++i) {
+    body(static_cast<Index>(begin + i));
+  }
+}
+
+/// parallel_for with dynamic scheduling for irregular per-index work
+/// (e.g. neighbor enumeration over skewed degree distributions).
+template <typename Index, typename Body>
+void parallel_for_dynamic(Index begin, Index end, Body&& body,
+                          std::int64_t grain = 256) {
+  const auto n = static_cast<std::int64_t>(end) - static_cast<std::int64_t>(begin);
+  if (n <= 0) return;
+#pragma omp parallel for schedule(dynamic, grain)
+  for (std::int64_t i = 0; i < n; ++i) {
+    body(static_cast<Index>(begin + i));
+  }
+}
+
+/// Sum-reduction over [begin, end): returns sum of body(i).
+template <typename Index, typename Body>
+double parallel_reduce_sum(Index begin, Index end, Body&& body) {
+  const auto n = static_cast<std::int64_t>(end) - static_cast<std::int64_t>(begin);
+  double total = 0.0;
+#pragma omp parallel for schedule(static) reduction(+ : total)
+  for (std::int64_t i = 0; i < n; ++i) {
+    total += body(static_cast<Index>(begin + i));
+  }
+  return total;
+}
+
+/// Max-reduction over [begin, end).
+template <typename Index, typename Body>
+auto parallel_reduce_max(Index begin, Index end, Body&& body)
+    -> decltype(body(begin)) {
+  using Value = decltype(body(begin));
+  const auto n = static_cast<std::int64_t>(end) - static_cast<std::int64_t>(begin);
+  Value best{};
+  bool first = true;
+#pragma omp parallel
+  {
+    Value local{};
+    bool local_first = true;
+#pragma omp for schedule(static) nowait
+    for (std::int64_t i = 0; i < n; ++i) {
+      Value v = body(static_cast<Index>(begin + i));
+      if (local_first || v > local) {
+        local = v;
+        local_first = false;
+      }
+    }
+#pragma omp critical
+    {
+      if (!local_first && (first || local > best)) {
+        best = local;
+        first = false;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace graffix

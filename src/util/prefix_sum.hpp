@@ -1,0 +1,73 @@
+// Exclusive prefix sums — the workhorse of CSR construction and of the
+// renumbering / replication transforms.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include <omp.h>
+
+namespace graffix {
+
+/// In-place exclusive scan; returns the total sum.
+template <typename T>
+T exclusive_scan_inplace(std::span<T> values) {
+  T running{};
+  for (auto& v : values) {
+    T next = running + v;
+    v = running;
+    running = next;
+  }
+  return running;
+}
+
+/// Out-of-place exclusive scan: out[i] = sum of in[0..i). out may have one
+/// extra trailing slot which then receives the total.
+template <typename T>
+T exclusive_scan(std::span<const T> in, std::span<T> out) {
+  T running{};
+  const std::size_t n = in.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = running;
+    running += in[i];
+  }
+  if (out.size() > n) out[n] = running;
+  return running;
+}
+
+/// Two-pass parallel exclusive scan for large arrays. Deterministic:
+/// result is independent of thread count.
+template <typename T>
+T parallel_exclusive_scan_inplace(std::span<T> values) {
+  const std::size_t n = values.size();
+  if (n < (1u << 14)) return exclusive_scan_inplace(values);
+
+  const int threads = omp_get_max_threads();
+  std::vector<T> block_sums(static_cast<std::size_t>(threads) + 1, T{});
+  const std::size_t chunk = (n + threads - 1) / threads;
+
+#pragma omp parallel num_threads(threads)
+  {
+    const int t = omp_get_thread_num();
+    const std::size_t lo = std::min(static_cast<std::size_t>(t) * chunk, n);
+    const std::size_t hi = std::min(lo + chunk, n);
+    T local{};
+    for (std::size_t i = lo; i < hi; ++i) local += values[i];
+    block_sums[static_cast<std::size_t>(t) + 1] = local;
+#pragma omp barrier
+#pragma omp single
+    {
+      for (int b = 1; b <= threads; ++b) block_sums[b] += block_sums[b - 1];
+    }
+    T running = block_sums[static_cast<std::size_t>(t)];
+    for (std::size_t i = lo; i < hi; ++i) {
+      T next = running + values[i];
+      values[i] = running;
+      running = next;
+    }
+  }
+  return block_sums.back();
+}
+
+}  // namespace graffix

@@ -1,0 +1,92 @@
+// Deterministic, splittable random number generation.
+//
+// All randomized components (generators, samplers, tie-breaking) draw from
+// these engines so that every experiment is reproducible from a single
+// 64-bit seed. SplitMix64 is used for seeding/splitting; Pcg32 is the
+// workhorse stream generator (small state, good quality, trivially
+// per-thread splittable for parallel edge generation).
+#pragma once
+
+#include <cstdint>
+
+namespace graffix {
+
+/// SplitMix64: statistically strong 64-bit mixer; ideal for deriving
+/// independent seeds for per-thread generators.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// PCG32 (XSH-RR variant): 64-bit state, 32-bit output.
+class Pcg32 {
+ public:
+  constexpr Pcg32() : Pcg32(0x853c49e6748fea9bULL, 0xda3e39cb94b95bdbULL) {}
+  constexpr Pcg32(std::uint64_t seed, std::uint64_t stream = 1)
+      : state_(0), inc_((stream << 1u) | 1u) {
+    next_u32();
+    state_ += seed;
+    next_u32();
+  }
+
+  constexpr std::uint32_t next_u32() {
+    std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    auto xorshifted = static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    auto rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  }
+
+  constexpr std::uint64_t next_u64() {
+    return (static_cast<std::uint64_t>(next_u32()) << 32) | next_u32();
+  }
+
+  /// Uniform in [0, bound) without modulo bias (Lemire's method).
+  constexpr std::uint32_t next_bounded(std::uint32_t bound) {
+    if (bound <= 1) return 0;
+    std::uint64_t m = static_cast<std::uint64_t>(next_u32()) * bound;
+    auto lo = static_cast<std::uint32_t>(m);
+    if (lo < bound) {
+      std::uint32_t threshold = (0u - bound) % bound;
+      while (lo < threshold) {
+        m = static_cast<std::uint64_t>(next_u32()) * bound;
+        lo = static_cast<std::uint32_t>(m);
+      }
+    }
+    return static_cast<std::uint32_t>(m >> 32);
+  }
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  constexpr double next_double() {
+    return static_cast<double>(next_u64() >> 11) *
+           (1.0 / 9007199254740992.0);  // 2^-53
+  }
+
+  /// Uniform float in [0, 1).
+  constexpr float next_float() {
+    return static_cast<float>(next_u32() >> 8) * (1.0f / 16777216.0f);
+  }
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+};
+
+/// Derive the i-th independent generator from a master seed.
+inline Pcg32 make_stream(std::uint64_t master_seed, std::uint64_t stream_index) {
+  SplitMix64 mixer(master_seed ^ (stream_index * 0x9e3779b97f4a7c15ULL));
+  std::uint64_t s = mixer.next();
+  return Pcg32(s, mixer.next() | 1u);
+}
+
+}  // namespace graffix

@@ -1,0 +1,41 @@
+// Wall-clock timing utilities for preprocessing-overhead measurements
+// (Table 5) and harness reporting.
+#pragma once
+
+#include <chrono>
+
+namespace graffix {
+
+/// Monotonic wall-clock timer. start() resets; seconds() reads elapsed.
+class WallTimer {
+ public:
+  WallTimer() { start(); }
+
+  void start() { begin_ = Clock::now(); }
+
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - begin_).count();
+  }
+
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point begin_;
+};
+
+/// Accumulates elapsed time into a double on destruction; handy for
+/// attributing time to phases across loop iterations.
+class ScopedAccumulator {
+ public:
+  explicit ScopedAccumulator(double& sink) : sink_(sink) {}
+  ScopedAccumulator(const ScopedAccumulator&) = delete;
+  ScopedAccumulator& operator=(const ScopedAccumulator&) = delete;
+  ~ScopedAccumulator() { sink_ += timer_.seconds(); }
+
+ private:
+  double& sink_;
+  WallTimer timer_;
+};
+
+}  // namespace graffix

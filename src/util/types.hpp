@@ -1,0 +1,23 @@
+// Fundamental integer and floating-point types used across Graffix.
+//
+// Node ids are 32-bit: the paper's largest graph (twitter, 41.6M nodes,
+// plus replica slots) fits comfortably, and halving the id width is what
+// makes the coalescing story work (more ids per 128B transaction).
+// Edge ids are 64-bit since edge counts exceed 2^32 at paper scale.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace graffix {
+
+using NodeId = std::uint32_t;
+using EdgeId = std::uint64_t;
+using Weight = float;
+
+/// Sentinel for "no node" / unnumbered / hole slots.
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+/// Sentinel distance for unreached vertices.
+inline constexpr Weight kInfWeight = std::numeric_limits<Weight>::infinity();
+
+}  // namespace graffix

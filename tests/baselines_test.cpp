@@ -1,0 +1,104 @@
+// Baseline-strategy tests: work decomposition per strategy, Tigr's
+// virtual splitting bound, edge-load modes, and auxiliary cost hooks.
+#include <gtest/gtest.h>
+
+#include "baselines/strategy.hpp"
+#include "gen/rmat.hpp"
+#include "graph/builder.hpp"
+
+namespace graffix::baselines {
+namespace {
+
+Csr hub_graph() {
+  // One hub with 100 edges plus a few small nodes.
+  GraphBuilder b(128);
+  for (NodeId j = 0; j < 100; ++j) b.add_edge(0, 1 + (j % 100));
+  b.add_edge(1, 2);
+  b.add_edge(2, 3);
+  return b.build();
+}
+
+TEST(Baselines, NamesAndFactory) {
+  for (BaselineId id : all_baselines()) {
+    const auto strategy = make_strategy(id);
+    ASSERT_NE(strategy, nullptr);
+    EXPECT_EQ(strategy->id(), id);
+    EXPECT_NE(std::string(strategy->name()), "");
+  }
+  EXPECT_STREQ(baseline_name(BaselineId::TopologyDriven), "Baseline-I");
+  EXPECT_STREQ(baseline_name(BaselineId::TigrLike), "Tigr");
+  EXPECT_STREQ(baseline_name(BaselineId::GunrockLike), "Gunrock");
+}
+
+TEST(Baselines, TopologyDrivenIsNotDataDriven) {
+  EXPECT_FALSE(make_strategy(BaselineId::TopologyDriven)->data_driven());
+  EXPECT_TRUE(make_strategy(BaselineId::TigrLike)->data_driven());
+  EXPECT_TRUE(make_strategy(BaselineId::GunrockLike)->data_driven());
+}
+
+TEST(Baselines, TopologyDrivenOneItemPerVertex) {
+  Csr g = hub_graph();
+  const auto strategy = make_strategy(BaselineId::TopologyDriven);
+  std::vector<NodeId> active{0, 1, 2};
+  std::vector<sim::WorkItem> items;
+  strategy->make_work(g, active, items);
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_EQ(items[0].src, 0u);
+  EXPECT_EQ(items[0].edge_count, 100u);
+}
+
+TEST(Baselines, TigrSplitsHighDegreeVertices) {
+  Csr g = hub_graph();
+  const auto strategy = make_strategy(BaselineId::TigrLike);
+  std::vector<NodeId> active{0};
+  std::vector<sim::WorkItem> items;
+  strategy->make_work(g, active, items);
+  // 100 edges with bound 32 -> 4 virtual nodes (32+32+32+4).
+  ASSERT_EQ(items.size(), 4u);
+  NodeId total = 0;
+  for (const auto& item : items) {
+    EXPECT_EQ(item.src, 0u);
+    EXPECT_LE(item.edge_count, 32u);
+    total += item.edge_count;
+  }
+  EXPECT_EQ(total, 100u);
+  // Ranges are contiguous and non-overlapping.
+  for (std::size_t i = 1; i < items.size(); ++i) {
+    EXPECT_EQ(items[i].edge_begin,
+              items[i - 1].edge_begin + items[i - 1].edge_count);
+  }
+}
+
+TEST(Baselines, TigrKeepsZeroDegreeVertices) {
+  GraphBuilder b(2);
+  Csr g = b.build();
+  const auto strategy = make_strategy(BaselineId::TigrLike);
+  std::vector<NodeId> active{0, 1};
+  std::vector<sim::WorkItem> items;
+  strategy->make_work(g, active, items);
+  EXPECT_EQ(items.size(), 2u);
+  EXPECT_EQ(items[0].edge_count, 0u);
+}
+
+TEST(Baselines, EdgeLoadModes) {
+  EXPECT_EQ(make_strategy(BaselineId::TopologyDriven)->edge_load_mode(),
+            sim::EdgeLoadMode::Csr);
+  EXPECT_EQ(make_strategy(BaselineId::TigrLike)->edge_load_mode(),
+            sim::EdgeLoadMode::IdealWarpPacked);
+  EXPECT_EQ(make_strategy(BaselineId::GunrockLike)->edge_load_mode(),
+            sim::EdgeLoadMode::Csr);
+}
+
+TEST(Baselines, GunrockChargesFilter) {
+  const auto gunrock = make_strategy(BaselineId::GunrockLike);
+  const auto topo = make_strategy(BaselineId::TopologyDriven);
+  EXPECT_GT(gunrock->aux_items_per_sweep(1000), 0u);
+  EXPECT_EQ(topo->aux_items_per_sweep(1000), 0u);
+}
+
+TEST(Baselines, AllBaselinesListsThree) {
+  EXPECT_EQ(all_baselines().size(), 3u);
+}
+
+}  // namespace
+}  // namespace graffix::baselines

@@ -1,0 +1,148 @@
+// CLI parsing and end-to-end subcommand tests (the `graffix` tool).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "cli_commands.hpp"
+#include "graph/io.hpp"
+
+namespace graffix::cli {
+namespace {
+
+Args make_args(std::vector<std::string> argv_strings) {
+  std::vector<char*> argv;
+  argv.reserve(argv_strings.size());
+  for (auto& s : argv_strings) argv.push_back(s.data());
+  return parse_args(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(CliArgs, ParsesCommandPositionalAndOptions) {
+  const Args args = make_args({"graffix", "run", "g.bin", "--algorithm",
+                               "pr", "--scale", "12", "-o", "out.bin"});
+  EXPECT_EQ(args.command, "run");
+  ASSERT_EQ(args.positional.size(), 1u);
+  EXPECT_EQ(args.positional[0], "g.bin");
+  EXPECT_EQ(args.get("algorithm", ""), "pr");
+  EXPECT_EQ(args.get_int("scale", 0), 12);
+  EXPECT_EQ(args.get("output", ""), "out.bin");
+}
+
+TEST(CliArgs, TrailingFlagWithoutValueBecomesTrue) {
+  // Flags greedily take the next token as their value, so boolean flags
+  // must come last (documented in cli_commands.hpp).
+  const Args args = make_args({"graffix", "stats", "g.txt", "--verbose"});
+  EXPECT_EQ(args.get("verbose", ""), "true");
+  ASSERT_EQ(args.positional.size(), 1u);
+  EXPECT_EQ(args.positional[0], "g.txt");
+}
+
+TEST(CliArgs, MissingKeysFallBack) {
+  const Args args = make_args({"graffix", "stats"});
+  EXPECT_EQ(args.get("nope", "dflt"), "dflt");
+  EXPECT_DOUBLE_EQ(args.get_double("nope", 0.25), 0.25);
+  EXPECT_EQ(args.get_int("nope", 7), 7);
+  EXPECT_EQ(args.find("nope"), nullptr);
+}
+
+TEST(CliArgs, NoArgumentsMeansHelp) {
+  const Args args = make_args({"graffix"});
+  EXPECT_EQ(args.command, "help");
+}
+
+TEST(CliParse, TechniqueNames) {
+  EXPECT_EQ(parse_technique("none"), Technique::None);
+  EXPECT_EQ(parse_technique("coalescing"), Technique::Coalescing);
+  EXPECT_EQ(parse_technique("latency"), Technique::Latency);
+  EXPECT_EQ(parse_technique("divergence"), Technique::Divergence);
+  EXPECT_EQ(parse_technique("combined"), Technique::Combined);
+}
+
+TEST(CliParse, AlgorithmNames) {
+  EXPECT_EQ(parse_algorithm("sssp"), core::Algorithm::SSSP);
+  EXPECT_EQ(parse_algorithm("mst"), core::Algorithm::MST);
+  EXPECT_EQ(parse_algorithm("scc"), core::Algorithm::SCC);
+  EXPECT_EQ(parse_algorithm("pr"), core::Algorithm::PR);
+  EXPECT_EQ(parse_algorithm("bc"), core::Algorithm::BC);
+}
+
+TEST(CliParse, UnknownNamesExit) {
+  EXPECT_EXIT((void)parse_technique("bogus"), ::testing::ExitedWithCode(2),
+              "unknown technique");
+  EXPECT_EXIT((void)parse_algorithm("bogus"), ::testing::ExitedWithCode(2),
+              "unknown algorithm");
+}
+
+class CliEndToEnd : public ::testing::Test {
+ protected:
+  std::string path(const char* name) {
+    const auto p = std::filesystem::temp_directory_path() /
+                   (std::string("graffix_cli_") + name);
+    created_.push_back(p.string());
+    return p.string();
+  }
+  void TearDown() override {
+    for (const auto& p : created_) std::remove(p.c_str());
+  }
+  std::vector<std::string> created_;
+};
+
+TEST_F(CliEndToEnd, GenerateStatsTransformRunRoundTrip) {
+  const std::string graph_file = path("g.bin");
+  const std::string transformed = path("t.bin");
+
+  EXPECT_EQ(cmd_generate(make_args({"graffix", "generate", "rmat26",
+                                    "--scale", "9", "-o", graph_file})),
+            0);
+  EXPECT_EQ(cmd_stats(make_args({"graffix", "stats", graph_file})), 0);
+  EXPECT_EQ(cmd_transform(make_args({"graffix", "transform", graph_file,
+                                     "--technique", "coalescing",
+                                     "--threshold", "0.4", "-o",
+                                     transformed})),
+            0);
+  // The transformed binary has holes and loads back.
+  const Csr back = read_binary(transformed);
+  EXPECT_TRUE(back.has_holes());
+  EXPECT_EQ(cmd_run(make_args({"graffix", "run", graph_file, "--algorithm",
+                               "pr", "--technique", "divergence"})),
+            0);
+}
+
+TEST_F(CliEndToEnd, CompareRunsAllTechniques) {
+  EXPECT_EQ(cmd_compare(make_args({"graffix", "compare", "rmat26", "--scale",
+                                   "9", "--algorithm", "pr"})),
+            0);
+}
+
+TEST_F(CliEndToEnd, RunWritesTraceCsv) {
+  const std::string trace = path("trace.csv");
+  EXPECT_EQ(cmd_run(make_args({"graffix", "run", "rmat26", "--scale", "9",
+                               "--algorithm", "sssp", "--technique",
+                               "divergence", "--trace", trace})),
+            0);
+  std::FILE* f = std::fopen(trace.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char header[128] = {};
+  ASSERT_NE(std::fgets(header, sizeof(header), f), nullptr);
+  EXPECT_NE(std::strstr(header, "iteration"), nullptr);
+  std::fclose(f);
+}
+
+TEST_F(CliEndToEnd, PresetsLoadDirectly) {
+  EXPECT_EQ(cmd_stats(make_args({"graffix", "stats", "USA-road", "--scale",
+                                 "8"})),
+            0);
+}
+
+TEST_F(CliEndToEnd, GenerateEdgeListOutput) {
+  const std::string out = path("g.txt");
+  EXPECT_EQ(cmd_generate(make_args({"graffix", "generate", "random26",
+                                    "--scale", "8", "-o", out})),
+            0);
+  const Csr back = read_edge_list(out, /*weighted=*/true);
+  EXPECT_GT(back.num_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace graffix::cli

@@ -1,0 +1,206 @@
+// Combined-technique tests (the paper's "they can be combined" claim):
+// stage composition order, artifact wiring, hole-awareness of the later
+// stages, exactness when every approximation is disabled, and bounded
+// inaccuracy of the full stack.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/pipeline.hpp"
+#include "gen/permute.hpp"
+#include "gen/rmat.hpp"
+#include "graph/validate.hpp"
+#include "metrics/accuracy.hpp"
+#include "transform/combined.hpp"
+#include "transform/sparsify.hpp"
+
+namespace graffix {
+namespace {
+
+Csr small_rmat(std::uint32_t scale = 10) {
+  RmatParams p;
+  p.scale = scale;
+  p.edge_factor = 8;
+  return permute_vertices(generate_rmat(p), 3);
+}
+
+transform::CombinedKnobs all_three() {
+  transform::CombinedKnobs knobs;
+  knobs.coalescing = transform::CoalescingKnobs{.connectedness_threshold = 0.4};
+  knobs.latency = transform::LatencyKnobs{.cc_threshold = 0.3, .near_delta = 0.2};
+  knobs.divergence = transform::DivergenceKnobs{.degree_sim_threshold = 0.3};
+  return knobs;
+}
+
+TEST(Combined, EmptySelectionIsIdentity) {
+  Csr g = small_rmat(8);
+  const auto result = transform::combined_transform(g, {});
+  EXPECT_EQ(result.graph.num_edges(), g.num_edges());
+  EXPECT_EQ(result.graph.num_slots(), g.num_slots());
+  EXPECT_FALSE(result.renumber.has_value());
+  EXPECT_TRUE(result.replicas.empty());
+  EXPECT_TRUE(result.schedule.empty());
+  EXPECT_TRUE(result.warp_order.empty());
+  EXPECT_EQ(result.edges_added, 0u);
+}
+
+TEST(Combined, AllThreeStagesProduceValidGraph) {
+  Csr g = small_rmat();
+  const auto result = transform::combined_transform(g, all_three());
+  EXPECT_TRUE(validate_graph(result.graph).ok);
+  ASSERT_TRUE(result.renumber.has_value());
+  // Divergence ran in preserve_order mode: no reorder artifact.
+  EXPECT_TRUE(result.warp_order.empty());
+  // Slot count comes from the renumbering (holes included).
+  EXPECT_EQ(result.graph.num_slots(), result.renumber->num_slots);
+  EXPECT_GE(result.preprocessing_seconds, 0.0);
+}
+
+TEST(Combined, LaterStagesPreserveSlotIds) {
+  // Latency/divergence only add edges; every node keeps its slot and its
+  // original out-neighbors as a prefix.
+  Csr g = small_rmat();
+  transform::CombinedKnobs coalescing_only;
+  coalescing_only.coalescing = all_three().coalescing;
+  const auto stage1 = transform::combined_transform(g, coalescing_only);
+  const auto full = transform::combined_transform(g, all_three());
+  ASSERT_EQ(full.graph.num_slots(), stage1.graph.num_slots());
+  for (NodeId s = 0; s < full.graph.num_slots(); ++s) {
+    EXPECT_EQ(full.graph.is_hole(s), stage1.graph.is_hole(s));
+    const auto before = stage1.graph.neighbors(s);
+    const auto after = full.graph.neighbors(s);
+    ASSERT_GE(after.size(), before.size()) << "slot " << s;
+    for (std::size_t i = 0; i < before.size(); ++i) {
+      EXPECT_EQ(after[i], before[i]) << "slot " << s;
+    }
+  }
+}
+
+TEST(Combined, LatencyAndDivergenceComposeWithoutCoalescing) {
+  Csr g = small_rmat();
+  transform::CombinedKnobs knobs = all_three();
+  knobs.coalescing.reset();
+  const auto result = transform::combined_transform(g, knobs);
+  EXPECT_TRUE(validate_graph(result.graph).ok);
+  EXPECT_FALSE(result.renumber.has_value());
+  // Without coalescing, divergence may reorder.
+  EXPECT_EQ(result.warp_order.size(), result.graph.num_slots());
+  EXPECT_FALSE(result.schedule.empty());
+}
+
+TEST(Combined, ExactWhenAllApproximationsDisabled) {
+  Csr g = small_rmat(9);
+  transform::CombinedKnobs knobs;
+  knobs.coalescing =
+      transform::CoalescingKnobs{.connectedness_threshold = 1.5};  // off
+  knobs.latency = transform::LatencyKnobs{.edge_budget_fraction = 0.0};
+  knobs.divergence = transform::DivergenceKnobs{.degree_sim_threshold = 0.0};
+  const auto result = transform::combined_transform(g, knobs);
+  EXPECT_EQ(result.edges_added, 0u);
+  EXPECT_EQ(result.graph.num_edges(), g.num_edges());
+}
+
+TEST(CombinedPipeline, WiresAllArtifacts) {
+  Pipeline pipeline(small_rmat());
+  const auto& result = pipeline.apply_combined(all_three());
+  EXPECT_EQ(pipeline.technique(), Technique::Combined);
+  EXPECT_STREQ(technique_name(Technique::Combined), "combined");
+  EXPECT_EQ(&pipeline.current(), &result.graph);
+
+  const auto out = pipeline.run(core::Algorithm::PR);
+  if (!result.schedule.empty()) {
+    EXPECT_GT(out.stats.shared_accesses, 0u);
+  }
+  // Projection respects the renumbering.
+  std::vector<double> attr(pipeline.current().num_slots());
+  for (std::size_t s = 0; s < attr.size(); ++s) attr[s] = double(s);
+  const auto projected = pipeline.project(attr);
+  for (NodeId v = 0; v < 10; ++v) {
+    EXPECT_DOUBLE_EQ(projected[v], double(pipeline.slot_of_node(v)));
+  }
+}
+
+TEST(CombinedPipeline, InaccuracyBounded) {
+  Pipeline pipeline(small_rmat());
+  pipeline.apply_combined(all_three());
+  const auto exact = pipeline.run_exact(core::Algorithm::PR);
+  const auto approx = pipeline.run(core::Algorithm::PR);
+  const auto error =
+      metrics::attribute_error(exact.attr, pipeline.project(approx.attr));
+  // Stacked approximations: more than any single technique, still sane.
+  EXPECT_LT(error.inaccuracy_pct, 45.0);
+  EXPECT_GT(approx.sim_seconds, 0.0);
+}
+
+TEST(CombinedPipeline, SsspStaysConservative) {
+  Pipeline pipeline(small_rmat(9));
+  pipeline.apply_combined(all_three());
+  core::RunConfig rc;
+  rc.sssp_source = 0;
+  const auto exact = pipeline.run_exact(core::Algorithm::SSSP, rc);
+  core::RunConfig ra;
+  ra.sssp_source = pipeline.slot_of_node(0);
+  const auto approx = pipeline.run(core::Algorithm::SSSP, ra);
+  const auto projected = pipeline.project(approx.attr);
+  // All added edges carry path-sum weights, so distances cannot shrink
+  // below exact by more than the relax tolerance.
+  for (NodeId v = 0; v < pipeline.original().num_nodes(); ++v) {
+    if (std::isfinite(exact.attr[v]) && std::isfinite(projected[v])) {
+      EXPECT_GT(projected[v], exact.attr[v] - 0.02 * (1.0 + exact.attr[v]))
+          << v;
+    }
+  }
+}
+
+TEST(Sparsify, DropsRequestedFraction) {
+  Csr g = small_rmat();
+  transform::SparsifyKnobs knobs;
+  knobs.drop_fraction = 0.2;
+  const auto result = transform::sparsify_transform(g, knobs);
+  EXPECT_TRUE(validate_graph(result.graph).ok);
+  EXPECT_EQ(result.graph.num_edges() + result.edges_dropped, g.num_edges());
+  const double dropped_fraction =
+      static_cast<double>(result.edges_dropped) / g.num_edges();
+  EXPECT_NEAR(dropped_fraction, 0.2, 0.05);
+}
+
+TEST(Sparsify, KeepsOneEdgePerVertex) {
+  Csr g = small_rmat();
+  transform::SparsifyKnobs knobs;
+  knobs.drop_fraction = 0.99;
+  const auto result = transform::sparsify_transform(g, knobs);
+  for (NodeId u = 0; u < g.num_slots(); ++u) {
+    if (g.degree(u) > 0) {
+      EXPECT_GE(result.graph.degree(u), 1u) << u;
+    }
+  }
+}
+
+TEST(Sparsify, ZeroDropIsIdentity) {
+  Csr g = small_rmat(8);
+  transform::SparsifyKnobs knobs;
+  knobs.drop_fraction = 0.0;
+  const auto result = transform::sparsify_transform(g, knobs);
+  EXPECT_EQ(result.edges_dropped, 0u);
+  EXPECT_EQ(std::vector<NodeId>(result.graph.targets().begin(),
+                                result.graph.targets().end()),
+            std::vector<NodeId>(g.targets().begin(), g.targets().end()));
+}
+
+TEST(Sparsify, Deterministic) {
+  Csr g = small_rmat(8);
+  transform::SparsifyKnobs knobs;
+  knobs.drop_fraction = 0.3;
+  const auto a = transform::sparsify_transform(g, knobs);
+  const auto b = transform::sparsify_transform(g, knobs);
+  EXPECT_EQ(a.edges_dropped, b.edges_dropped);
+  knobs.seed ^= 1;
+  const auto c = transform::sparsify_transform(g, knobs);
+  EXPECT_NE(std::vector<NodeId>(a.graph.targets().begin(),
+                                a.graph.targets().end()),
+            std::vector<NodeId>(c.graph.targets().begin(),
+                                c.graph.targets().end()));
+}
+
+}  // namespace
+}  // namespace graffix

@@ -1,0 +1,103 @@
+// Confluence (§2.4) tests: merge operators, finite-mean handling of
+// unreached replicas, idempotence, and no-op behavior on unreplicated
+// slots.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "transform/confluence.hpp"
+
+namespace graffix::transform {
+namespace {
+
+ReplicaMap two_groups() {
+  ReplicaMap map;
+  map.groups = {{0, 3}, {1, 4, 5}};
+  map.group_of_slot = {0, 1, kInvalidNode, 0, 1, 1};
+  return map;
+}
+
+TEST(Confluence, MeanMergesGroups) {
+  const ReplicaMap map = two_groups();
+  std::vector<double> attr{2.0, 3.0, 99.0, 4.0, 6.0, 9.0};
+  const std::size_t merges = merge_replicas(map, std::span<double>(attr),
+                                            MergeOp::Mean);
+  EXPECT_EQ(merges, 2u);
+  EXPECT_DOUBLE_EQ(attr[0], 3.0);
+  EXPECT_DOUBLE_EQ(attr[3], 3.0);
+  EXPECT_DOUBLE_EQ(attr[1], 6.0);
+  EXPECT_DOUBLE_EQ(attr[4], 6.0);
+  EXPECT_DOUBLE_EQ(attr[5], 6.0);
+  // Unreplicated slot untouched.
+  EXPECT_DOUBLE_EQ(attr[2], 99.0);
+}
+
+TEST(Confluence, MinMaxSumOperators) {
+  const ReplicaMap map = two_groups();
+  std::vector<double> attr{2.0, 3.0, 0.0, 4.0, 6.0, 9.0};
+  auto copy = attr;
+  merge_replicas(map, std::span<double>(copy), MergeOp::Min);
+  EXPECT_DOUBLE_EQ(copy[0], 2.0);
+  EXPECT_DOUBLE_EQ(copy[3], 2.0);
+  EXPECT_DOUBLE_EQ(copy[1], 3.0);
+
+  copy = attr;
+  merge_replicas(map, std::span<double>(copy), MergeOp::Max);
+  EXPECT_DOUBLE_EQ(copy[0], 4.0);
+  EXPECT_DOUBLE_EQ(copy[5], 9.0);
+
+  copy = attr;
+  merge_replicas(map, std::span<double>(copy), MergeOp::Sum);
+  EXPECT_DOUBLE_EQ(copy[0], 6.0);
+  EXPECT_DOUBLE_EQ(copy[1], 18.0);
+}
+
+TEST(Confluence, MeanIsIdempotent) {
+  const ReplicaMap map = two_groups();
+  std::vector<double> attr{2.0, 3.0, 0.0, 4.0, 6.0, 9.0};
+  merge_replicas(map, std::span<double>(attr), MergeOp::Mean);
+  auto once = attr;
+  merge_replicas(map, std::span<double>(attr), MergeOp::Mean);
+  EXPECT_EQ(attr, once);
+}
+
+TEST(Confluence, FiniteMeanSkipsInfinities) {
+  const ReplicaMap map = two_groups();
+  constexpr double inf = std::numeric_limits<double>::infinity();
+  std::vector<double> attr{2.0, inf, 0.0, inf, inf, inf};
+  const std::size_t merges =
+      merge_replicas_finite_mean(map, std::span<double>(attr));
+  // Group {0,3}: only 2.0 finite -> both become 2.0 (replica adopts the
+  // reached value instead of becoming NaN/inf-poisoned).
+  EXPECT_EQ(merges, 1u);
+  EXPECT_DOUBLE_EQ(attr[0], 2.0);
+  EXPECT_DOUBLE_EQ(attr[3], 2.0);
+  // Group {1,4,5}: all infinite -> untouched.
+  EXPECT_EQ(attr[1], inf);
+  EXPECT_EQ(attr[4], inf);
+}
+
+TEST(Confluence, FloatOverloadWorks) {
+  const ReplicaMap map = two_groups();
+  std::vector<float> attr{1.0f, 2.0f, 0.0f, 3.0f, 4.0f, 6.0f};
+  merge_replicas_finite_mean(map, std::span<float>(attr));
+  EXPECT_FLOAT_EQ(attr[0], 2.0f);
+  EXPECT_FLOAT_EQ(attr[1], 4.0f);
+}
+
+TEST(Confluence, EmptyMapIsNoop) {
+  ReplicaMap map;
+  std::vector<double> attr{1.0, 2.0};
+  EXPECT_EQ(merge_replicas(map, std::span<double>(attr), MergeOp::Mean), 0u);
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.replica_count(), 0u);
+}
+
+TEST(Confluence, ReplicaCount) {
+  const ReplicaMap map = two_groups();
+  EXPECT_EQ(map.replica_count(), 3u);  // one in group 0, two in group 1
+  EXPECT_FALSE(map.empty());
+}
+
+}  // namespace
+}  // namespace graffix::transform

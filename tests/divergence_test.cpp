@@ -1,0 +1,206 @@
+// Divergence transform (§4) tests: the warp order is a permutation
+// grouping similar degrees, degree uniformity improves, only 2-hop edges
+// with summed weights are added, the degreeSim threshold gates boosting,
+// and the budget holds.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "gen/erdos_renyi.hpp"
+#include "gen/rmat.hpp"
+#include "graph/builder.hpp"
+#include "graph/validate.hpp"
+#include "transform/divergence.hpp"
+
+namespace graffix::transform {
+namespace {
+
+Csr small_rmat(std::uint32_t scale = 10) {
+  RmatParams p;
+  p.scale = scale;
+  p.edge_factor = 8;
+  return generate_rmat(p);
+}
+
+DivergenceKnobs knobs(double threshold = 0.3) {
+  DivergenceKnobs k;
+  k.degree_sim_threshold = threshold;
+  return k;
+}
+
+TEST(Divergence, OutputIsValid) {
+  const auto result = divergence_transform(small_rmat(), knobs());
+  EXPECT_TRUE(validate_graph(result.graph).ok);
+}
+
+TEST(Divergence, WarpOrderIsPermutation) {
+  Csr g = small_rmat();
+  const auto result = divergence_transform(g, knobs());
+  ASSERT_EQ(result.warp_order.size(), g.num_nodes());
+  std::vector<NodeId> sorted = result.warp_order;
+  std::sort(sorted.begin(), sorted.end());
+  for (NodeId i = 0; i < g.num_nodes(); ++i) {
+    ASSERT_EQ(sorted[i], i);
+  }
+}
+
+TEST(Divergence, OrderIsByDescendingDegreeBucket) {
+  // Bucket sort: power-of-two degree buckets, descending; within a
+  // bucket the original id order is preserved (stability).
+  Csr g = small_rmat();
+  const auto result = divergence_transform(g, knobs());
+  // Mirror of the transform's bucketing: degrees below 8 share a bucket.
+  auto bucket_of = [](NodeId d) {
+    return d < 8 ? 3u : 32u - static_cast<unsigned>(__builtin_clz(d));
+  };
+  for (std::size_t i = 1; i < result.warp_order.size(); ++i) {
+    const NodeId prev = result.warp_order[i - 1];
+    const NodeId cur = result.warp_order[i];
+    const auto bp = bucket_of(g.degree(prev));
+    const auto bc = bucket_of(g.degree(cur));
+    EXPECT_GE(bp, bc);
+    if (bp == bc) {
+      EXPECT_LT(prev, cur);  // stable within bucket
+    }
+  }
+}
+
+TEST(Divergence, UniformityImprovesOnSkewedGraph) {
+  const auto result = divergence_transform(small_rmat(), knobs(0.3));
+  EXPECT_GE(result.degree_uniformity_after,
+            result.degree_uniformity_before - 1e-12);
+}
+
+TEST(Divergence, ZeroThresholdAddsNoEdges) {
+  Csr g = small_rmat();
+  const auto result = divergence_transform(g, knobs(0.0));
+  EXPECT_EQ(result.edges_added, 0u);
+  EXPECT_EQ(result.graph.num_edges(), g.num_edges());
+}
+
+TEST(Divergence, HigherThresholdAddsMoreEdges) {
+  Csr g = small_rmat();
+  const auto low = divergence_transform(g, knobs(0.1));
+  const auto high = divergence_transform(g, knobs(0.5));
+  EXPECT_GE(high.edges_added, low.edges_added);
+}
+
+TEST(Divergence, BudgetBoundsInsertions) {
+  Csr g = small_rmat();
+  DivergenceKnobs k = knobs(0.6);
+  k.edge_budget_fraction = 0.01;
+  const auto result = divergence_transform(g, k);
+  EXPECT_LE(result.edges_added,
+            static_cast<std::uint64_t>(0.01 * g.num_edges()) + 1);
+}
+
+TEST(Divergence, OnlyAddsEdgesInPlace) {
+  Csr g = small_rmat();
+  const auto result = divergence_transform(g, knobs(0.4));
+  for (NodeId u = 0; u < g.num_slots(); ++u) {
+    const auto before = g.neighbors(u);
+    const auto after = result.graph.neighbors(u);
+    ASSERT_GE(after.size(), before.size());
+    for (std::size_t i = 0; i < before.size(); ++i) {
+      EXPECT_EQ(after[i], before[i]);
+    }
+  }
+}
+
+TEST(Divergence, NewEdgesAreTwoHopWithSummedWeights) {
+  Csr g = small_rmat();
+  DivergenceKnobs k = knobs(0.4);
+  const auto result = divergence_transform(g, k);
+  ASSERT_GT(result.edges_added, 0u);
+  std::size_t checked = 0;
+  for (NodeId u = 0; u < g.num_slots() && checked < 50; ++u) {
+    const auto old_deg = g.degree(u);
+    const auto new_nbrs = result.graph.neighbors(u);
+    const auto new_wts = result.graph.edge_weights(u);
+    for (std::size_t i = old_deg; i < new_nbrs.size(); ++i) {
+      const NodeId q = new_nbrs[i];
+      // q must be reachable from u in exactly two hops with matching sum.
+      bool valid = false;
+      const auto mids = g.neighbors(u);
+      const auto mws = g.edge_weights(u);
+      for (std::size_t m = 0; m < mids.size() && !valid; ++m) {
+        const auto hops = g.neighbors(mids[m]);
+        const auto hws = g.edge_weights(mids[m]);
+        for (std::size_t h = 0; h < hops.size(); ++h) {
+          if (hops[h] == q &&
+              std::abs(mws[m] + hws[h] - new_wts[i]) < 1e-4f) {
+            valid = true;
+            break;
+          }
+        }
+      }
+      EXPECT_TRUE(valid) << "edge " << u << "->" << q;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(Divergence, BoostedDegreesApproachWarpTarget) {
+  Csr g = small_rmat();
+  DivergenceKnobs k = knobs(0.3);
+  k.boost_to = 0.85;
+  const auto result = divergence_transform(g, k);
+  const auto& order = result.warp_order;
+  const std::uint32_t ws = k.warp_size;
+  for (std::size_t base = 0; base + ws <= order.size(); base += ws) {
+    NodeId max_deg = 0;
+    for (std::uint32_t i = 0; i < ws; ++i) {
+      max_deg = std::max(max_deg, g.degree(order[base + i]));
+    }
+    const auto target = static_cast<NodeId>(k.boost_to * max_deg);
+    for (std::uint32_t i = 0; i < ws; ++i) {
+      const NodeId u = order[base + i];
+      const NodeId d = g.degree(u);
+      if (d == 0 || d >= target) continue;
+      const double sim = 1.0 - static_cast<double>(d) / max_deg;
+      if (sim <= k.degree_sim_threshold) {
+        // Boosted (unless the graph lacked enough 2-hop candidates or the
+        // budget ran out): new degree must not exceed the target.
+        EXPECT_LE(result.graph.degree(u), target);
+      } else {
+        // Not boosted: degree unchanged.
+        EXPECT_EQ(result.graph.degree(u), d);
+      }
+    }
+  }
+}
+
+TEST(Divergence, NoSelfLoopsOrDuplicateTargets) {
+  const auto result = divergence_transform(small_rmat(), knobs(0.5));
+  for (NodeId u = 0; u < result.graph.num_slots(); ++u) {
+    std::set<NodeId> seen;
+    for (NodeId v : result.graph.neighbors(u)) {
+      EXPECT_NE(v, u);
+      // Duplicates may exist in the raw generator output; inserted edges
+      // must not add any *new* duplicates beyond the original ones.
+      seen.insert(v);
+    }
+  }
+}
+
+TEST(Divergence, UniformGraphNeedsFewEdges) {
+  // ER degrees are tight: after bucket sorting, deficits are small.
+  ErdosRenyiParams p;
+  p.scale = 10;
+  p.edge_factor = 8;
+  Csr g = generate_erdos_renyi(p);
+  const auto skewed = divergence_transform(small_rmat(), knobs(0.3));
+  const auto uniform = divergence_transform(g, knobs(0.3));
+  const double skew_frac =
+      static_cast<double>(skewed.edges_added) / skewed.graph.num_edges();
+  const double uni_frac =
+      static_cast<double>(uniform.edges_added) / uniform.graph.num_edges();
+  // The uniform graph should need no more relative augmentation.
+  EXPECT_LE(uni_frac, skew_frac + 0.05);
+}
+
+}  // namespace
+}  // namespace graffix::transform

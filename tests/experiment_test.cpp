@@ -1,0 +1,111 @@
+// Experiment grid tests: threshold auto-resolution (§5.2/§5.3/§5.4
+// rules), per-cell speedup/inaccuracy production, exact tables, and
+// preprocessing reports. Runs at tiny scale to stay fast.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+
+namespace graffix::core {
+namespace {
+
+ExperimentConfig tiny_config(Technique technique) {
+  ExperimentConfig config;
+  config.scale = 8;
+  config.technique = technique;
+  config.bc_sources = 2;
+  // Keep the suite small: SSSP + PR exercise both frontier and all-active
+  // paths.
+  config.algorithms = {Algorithm::SSSP, Algorithm::PR};
+  return config;
+}
+
+TEST(Experiment, AutoThresholdsFollowPaperRules) {
+  ExperimentConfig config;
+  config.auto_thresholds = true;
+  const auto power_law = resolve_for_graph(config, GraphPreset::Rmat26);
+  EXPECT_DOUBLE_EQ(power_law.coalescing.connectedness_threshold, 0.6);
+  const auto road = resolve_for_graph(config, GraphPreset::UsaRoad);
+  EXPECT_DOUBLE_EQ(road.coalescing.connectedness_threshold, 0.4);
+  EXPECT_LT(road.latency.cc_threshold, power_law.latency.cc_threshold);
+}
+
+TEST(Experiment, ManualThresholdsRespected) {
+  ExperimentConfig config;
+  config.auto_thresholds = false;
+  config.coalescing.connectedness_threshold = 0.42;
+  const auto resolved = resolve_for_graph(config, GraphPreset::Rmat26);
+  EXPECT_DOUBLE_EQ(resolved.coalescing.connectedness_threshold, 0.42);
+}
+
+TEST(Experiment, RunGraphProducesOneRowPerAlgorithm) {
+  const auto suite = make_suite(8);
+  const auto rows = run_graph(suite[0], tiny_config(Technique::Divergence));
+  ASSERT_EQ(rows.size(), 2u);
+  for (const auto& row : rows) {
+    EXPECT_EQ(row.graph, "rmat26");
+    EXPECT_GT(row.exact_seconds, 0.0);
+    EXPECT_GT(row.approx_seconds, 0.0);
+    EXPECT_GT(row.speedup, 0.0);
+    EXPECT_GE(row.inaccuracy_pct, 0.0);
+  }
+}
+
+TEST(Experiment, ExactTableHasNoApproxColumns) {
+  ExperimentConfig config = tiny_config(Technique::None);
+  config.algorithms = {Algorithm::PR};
+  const auto rows = run_exact_table(config);
+  ASSERT_EQ(rows.size(), 5u);  // five suite graphs
+  for (const auto& row : rows) {
+    EXPECT_GT(row.exact_seconds, 0.0);
+    EXPECT_DOUBLE_EQ(row.approx_seconds, 0.0);
+  }
+}
+
+TEST(Experiment, PreprocessingReportCoversSuite) {
+  const auto reports = run_preprocessing(tiny_config(Technique::Coalescing));
+  ASSERT_EQ(reports.size(), 5u);
+  for (const auto& report : reports) {
+    EXPECT_GE(report.seconds, 0.0);
+    EXPECT_GE(report.extra_space_pct, 0.0);
+  }
+}
+
+TEST(Experiment, SummarizeComputesGeomeans)
+{
+  std::vector<ExperimentRow> rows(2);
+  rows[0].speedup = 1.0;
+  rows[0].inaccuracy_pct = 4.0;
+  rows[1].speedup = 4.0;
+  rows[1].inaccuracy_pct = 9.0;
+  const auto summary = summarize(rows);
+  EXPECT_DOUBLE_EQ(summary.speedup, 2.0);
+  EXPECT_DOUBLE_EQ(summary.inaccuracy_pct, 6.0);
+}
+
+TEST(Experiment, TableRowsGroupedByAlgorithm) {
+  ExperimentConfig config = tiny_config(Technique::Divergence);
+  config.algorithms = {Algorithm::SSSP, Algorithm::PR};
+  const auto rows = run_table(config);
+  ASSERT_EQ(rows.size(), 10u);  // 2 algorithms x 5 graphs
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(rows[i].algorithm, Algorithm::SSSP);
+  }
+  for (std::size_t i = 5; i < 10; ++i) {
+    EXPECT_EQ(rows[i].algorithm, Algorithm::PR);
+  }
+}
+
+TEST(Experiment, InaccuracyZeroWhenTechniqueAddsNothing) {
+  // Divergence with threshold 0 only reorders: exact results.
+  ExperimentConfig config = tiny_config(Technique::Divergence);
+  config.auto_thresholds = false;
+  config.divergence.degree_sim_threshold = 0.0;
+  const auto suite = make_suite(8);
+  const auto rows = run_graph(suite[1], config);  // random26
+  for (const auto& row : rows) {
+    EXPECT_NEAR(row.inaccuracy_pct, 0.0, 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace graffix::core

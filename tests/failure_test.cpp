@@ -1,0 +1,109 @@
+// Failure injection: the library's hard invariants must trip loudly
+// (GRAFFIX_CHECK aborts), not corrupt silently. Death tests pin the
+// contracts at every API boundary that takes externally-built data.
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "core/runners.hpp"
+#include "gen/rmat.hpp"
+#include "graph/builder.hpp"
+#include "graph/csr.hpp"
+#include "sim/engine.hpp"
+#include "transform/renumber.hpp"
+
+namespace graffix {
+namespace {
+
+Csr tiny() {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  return b.build();
+}
+
+Csr with_hole() {
+  std::vector<EdgeId> offsets{0, 1, 1, 2};
+  std::vector<NodeId> targets{2, 0};
+  return Csr(std::move(offsets), std::move(targets), {}, {0, 1, 0});
+}
+
+using FailureDeath = ::testing::Test;
+
+TEST(FailureDeath, CsrRejectsMismatchedOffsets) {
+  std::vector<EdgeId> offsets{0, 5};  // claims 5 edges
+  std::vector<NodeId> targets{1};     // has 1
+  EXPECT_DEATH((Csr{std::move(offsets), std::move(targets)}),
+               "offsets/targets mismatch");
+}
+
+TEST(FailureDeath, CsrRejectsEmptyOffsets) {
+  EXPECT_DEATH((Csr{std::vector<EdgeId>{}, std::vector<NodeId>{}}),
+               "at least one entry");
+}
+
+TEST(FailureDeath, CsrRejectsBadWeightCount) {
+  std::vector<EdgeId> offsets{0, 1};
+  std::vector<NodeId> targets{0};
+  std::vector<Weight> weights{1.0f, 2.0f};
+  EXPECT_DEATH(
+      (Csr{std::move(offsets), std::move(targets), std::move(weights)}),
+      "weights size mismatch");
+}
+
+TEST(FailureDeath, CsrRejectsBadHoleMask) {
+  std::vector<EdgeId> offsets{0, 1};
+  std::vector<NodeId> targets{0};
+  EXPECT_DEATH((Csr{std::move(offsets), std::move(targets), {}, {0, 1, 0}}),
+               "hole mask size mismatch");
+}
+
+TEST(FailureDeath, RenumberRejectsBadChunkSize) {
+  const Csr g = tiny();
+  EXPECT_DEATH((void)transform::renumber_bfs_forest(g, 0), "chunk size");
+  EXPECT_DEATH((void)transform::renumber_bfs_forest(g, 64), "chunk size");
+}
+
+TEST(FailureDeath, RenumberRejectsHoleGraphs) {
+  const Csr g = with_hole();
+  EXPECT_DEATH((void)transform::renumber_bfs_forest(g, 8),
+               "untransformed graph");
+}
+
+TEST(FailureDeath, PipelineRejectsHoleGraphs) {
+  EXPECT_DEATH((Pipeline{with_hole()}), "untransformed input graph");
+}
+
+TEST(FailureDeath, SsspRejectsHoleSource) {
+  const Csr g = with_hole();
+  core::RunConfig rc;
+  rc.sssp_source = 1;  // a hole
+  EXPECT_DEATH((void)core::run_algorithm(core::Algorithm::SSSP, g, rc),
+               "bad source");
+}
+
+TEST(FailureDeath, SsspRejectsOutOfRangeSource) {
+  const Csr g = tiny();
+  core::RunConfig rc;
+  rc.sssp_source = 99;
+  EXPECT_DEATH((void)core::run_algorithm(core::Algorithm::SSSP, g, rc),
+               "bad source");
+}
+
+TEST(FailureDeath, EngineRejectsAbsurdWarpSize) {
+  const Csr g = tiny();
+  sim::SimConfig cfg;
+  cfg.warp_size = 0;
+  EXPECT_DEATH((sim::Engine{g, cfg}), "warp size");
+}
+
+TEST(FailureDeath, WarpOrderMustCoverAllSlots) {
+  const Csr g = tiny();
+  std::vector<NodeId> short_order{0, 1};
+  core::RunConfig rc;
+  rc.warp_order = short_order;
+  EXPECT_DEATH((void)core::run_algorithm(core::Algorithm::PR, g, rc),
+               "warp order");
+}
+
+}  // namespace
+}  // namespace graffix

@@ -1,0 +1,244 @@
+// Generator tests: determinism, size contracts, degree-distribution
+// regimes (R-MAT skew vs ER uniformity vs road-grid flatness), and the
+// Table 1 suite presets.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "gen/erdos_renyi.hpp"
+#include "gen/permute.hpp"
+#include "gen/rmat.hpp"
+#include "gen/road_grid.hpp"
+#include "gen/suite.hpp"
+#include "graph/builder.hpp"
+#include "graph/properties.hpp"
+#include "graph/validate.hpp"
+
+namespace graffix {
+namespace {
+
+TEST(Rmat, SizeContract) {
+  RmatParams p;
+  p.scale = 10;
+  p.edge_factor = 8;
+  Csr g = generate_rmat(p);
+  EXPECT_EQ(g.num_nodes(), 1u << 10);
+  // Self loops are dropped, so slightly fewer edges than requested.
+  EXPECT_LE(g.num_edges(), 8u << 10);
+  EXPECT_GE(g.num_edges(), (8u << 10) * 9 / 10);
+  EXPECT_TRUE(validate_graph(g).ok);
+}
+
+TEST(Rmat, Deterministic) {
+  RmatParams p;
+  p.scale = 9;
+  Csr a = generate_rmat(p);
+  Csr b = generate_rmat(p);
+  EXPECT_EQ(std::vector<NodeId>(a.targets().begin(), a.targets().end()),
+            std::vector<NodeId>(b.targets().begin(), b.targets().end()));
+}
+
+TEST(Rmat, SeedChangesGraph) {
+  RmatParams p;
+  p.scale = 9;
+  Csr a = generate_rmat(p);
+  p.seed ^= 0x1234;
+  Csr b = generate_rmat(p);
+  EXPECT_NE(std::vector<NodeId>(a.targets().begin(), a.targets().end()),
+            std::vector<NodeId>(b.targets().begin(), b.targets().end()));
+}
+
+TEST(Rmat, SkewedDegreeDistribution) {
+  RmatParams p;
+  p.scale = 12;
+  p.edge_factor = 16;
+  Csr g = generate_rmat(p);
+  const DegreeStats stats = degree_stats(g);
+  // Power-law-ish: max degree far above the mean.
+  EXPECT_GT(stats.max, 8 * stats.mean);
+  EXPECT_GT(stats.stddev, stats.mean);
+}
+
+TEST(Rmat, WeightsInRange) {
+  RmatParams p;
+  p.scale = 8;
+  p.max_weight = 10.0f;
+  Csr g = generate_rmat(p);
+  ASSERT_TRUE(g.has_weights());
+  for (Weight w : g.weights()) {
+    ASSERT_GE(w, 1.0f);
+    ASSERT_LE(w, 10.0f);
+  }
+}
+
+TEST(ErdosRenyi, NearUniformDegrees) {
+  ErdosRenyiParams p;
+  p.scale = 12;
+  p.edge_factor = 16;
+  Csr g = generate_erdos_renyi(p);
+  const DegreeStats stats = degree_stats(g);
+  // Poisson(16): stddev ~ 4, max well below R-MAT hubs.
+  EXPECT_LT(stats.stddev, stats.mean);
+  EXPECT_LT(stats.max, 5 * stats.mean);
+  EXPECT_TRUE(validate_graph(g).ok);
+}
+
+TEST(ErdosRenyi, Deterministic) {
+  ErdosRenyiParams p;
+  p.scale = 9;
+  Csr a = generate_erdos_renyi(p);
+  Csr b = generate_erdos_renyi(p);
+  EXPECT_EQ(std::vector<NodeId>(a.targets().begin(), a.targets().end()),
+            std::vector<NodeId>(b.targets().begin(), b.targets().end()));
+}
+
+TEST(RoadGrid, SizeAndDegrees) {
+  RoadGridParams p;
+  p.width = 32;
+  p.height = 32;
+  Csr g = generate_road_grid(p);
+  EXPECT_EQ(g.num_nodes(), 1024u);
+  const DegreeStats stats = degree_stats(g);
+  // Lattice: degrees small and tight.
+  EXPECT_LE(stats.max, 8u);
+  EXPECT_GE(stats.mean, 2.0);
+  EXPECT_TRUE(validate_graph(g).ok);
+}
+
+TEST(RoadGrid, LargeDiameter) {
+  RoadGridParams p;
+  p.width = 48;
+  p.height = 48;
+  p.removal_fraction = 0.0;
+  Csr g = generate_road_grid(p);
+  // Manhattan-ish diameter ~ width + height.
+  EXPECT_GE(pseudo_diameter(g), 48u);
+}
+
+TEST(RoadGrid, SymmetricEdges) {
+  RoadGridParams p;
+  p.width = 16;
+  p.height = 16;
+  Csr g = generate_road_grid(p);
+  // Every arc has its reverse.
+  for (NodeId u = 0; u < g.num_slots(); ++u) {
+    for (NodeId v : g.neighbors(u)) {
+      const auto back = g.neighbors(v);
+      ASSERT_TRUE(std::find(back.begin(), back.end(), u) != back.end())
+          << u << "->" << v;
+    }
+  }
+}
+
+TEST(Suite, AllFivePresets) {
+  const auto suite = make_suite(8);
+  ASSERT_EQ(suite.size(), 5u);
+  EXPECT_EQ(suite[0].name, "rmat26");
+  EXPECT_EQ(suite[1].name, "random26");
+  EXPECT_EQ(suite[2].name, "LiveJournal");
+  EXPECT_EQ(suite[3].name, "USA-road");
+  EXPECT_EQ(suite[4].name, "twitter");
+  for (const auto& entry : suite) {
+    EXPECT_GT(entry.graph.num_nodes(), 0u) << entry.name;
+    EXPECT_GT(entry.graph.num_edges(), 0u) << entry.name;
+    EXPECT_TRUE(validate_graph(entry.graph).ok) << entry.name;
+  }
+}
+
+TEST(Suite, PowerLawClassification) {
+  EXPECT_TRUE(preset_is_power_law(GraphPreset::Rmat26));
+  EXPECT_TRUE(preset_is_power_law(GraphPreset::Twitter));
+  EXPECT_FALSE(preset_is_power_law(GraphPreset::UsaRoad));
+}
+
+TEST(Suite, TwitterIsDensest) {
+  const auto suite = make_suite(9);
+  const double twitter_ef = static_cast<double>(suite[4].graph.num_edges()) /
+                            suite[4].graph.num_nodes();
+  const double rmat_ef = static_cast<double>(suite[0].graph.num_edges()) /
+                         suite[0].graph.num_nodes();
+  EXPECT_GT(twitter_ef, rmat_ef);
+}
+
+TEST(Suite, RoadHasLargestDiameter) {
+  const auto suite = make_suite(10);
+  const NodeId road_diameter = pseudo_diameter(suite[3].graph);
+  const NodeId rmat_diameter = pseudo_diameter(suite[0].graph);
+  EXPECT_GT(road_diameter, rmat_diameter);
+}
+
+TEST(Permute, IsAnIsomorphism) {
+  RmatParams p;
+  p.scale = 9;
+  Csr g = generate_rmat(p);
+  Csr permuted = permute_vertices(g, 5);
+  EXPECT_EQ(permuted.num_nodes(), g.num_nodes());
+  EXPECT_EQ(permuted.num_edges(), g.num_edges());
+  EXPECT_TRUE(validate_graph(permuted).ok);
+  // Degree multiset is preserved.
+  std::vector<NodeId> d1, d2;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    d1.push_back(g.degree(v));
+    d2.push_back(permuted.degree(v));
+  }
+  std::sort(d1.begin(), d1.end());
+  std::sort(d2.begin(), d2.end());
+  EXPECT_EQ(d1, d2);
+}
+
+TEST(Permute, DeterministicAndSeedSensitive) {
+  RmatParams p;
+  p.scale = 8;
+  Csr g = generate_rmat(p);
+  Csr a = permute_vertices(g, 5);
+  Csr b = permute_vertices(g, 5);
+  Csr c = permute_vertices(g, 6);
+  EXPECT_EQ(std::vector<NodeId>(a.targets().begin(), a.targets().end()),
+            std::vector<NodeId>(b.targets().begin(), b.targets().end()));
+  EXPECT_NE(std::vector<NodeId>(a.targets().begin(), a.targets().end()),
+            std::vector<NodeId>(c.targets().begin(), c.targets().end()));
+}
+
+TEST(Permute, WeightsFollowEdges) {
+  GraphBuilder b(3);
+  b.set_weighted(true);
+  b.add_edge(0, 1, 2.5f);
+  b.add_edge(1, 2, 7.5f);
+  Csr g = b.build();
+  Csr permuted = permute_vertices(g, 9);
+  // Total weight is invariant.
+  double before = 0, after = 0;
+  for (Weight w : g.weights()) before += w;
+  for (Weight w : permuted.weights()) after += w;
+  EXPECT_DOUBLE_EQ(before, after);
+}
+
+TEST(Permute, DestroysArtificialLocality) {
+  // R-MAT raw output clusters low ids; after permutation the mean
+  // |u - v| gap across edges approaches the random expectation n/3.
+  RmatParams p;
+  p.scale = 12;
+  Csr g = generate_rmat(p);
+  Csr permuted = permute_vertices(g, 13);
+  auto mean_gap = [](const Csr& graph) {
+    double total = 0;
+    for (NodeId u = 0; u < graph.num_slots(); ++u) {
+      for (NodeId v : graph.neighbors(u)) {
+        total += std::abs(static_cast<double>(u) - v);
+      }
+    }
+    return total / graph.num_edges();
+  };
+  EXPECT_GT(mean_gap(permuted), mean_gap(g));
+}
+
+TEST(Suite, ScaleGrowsGraph) {
+  Csr small = make_preset(GraphPreset::Rmat26, 8);
+  Csr large = make_preset(GraphPreset::Rmat26, 10);
+  EXPECT_GT(large.num_nodes(), small.num_nodes());
+  EXPECT_GT(large.num_edges(), small.num_edges());
+}
+
+}  // namespace
+}  // namespace graffix

@@ -1,0 +1,142 @@
+// End-to-end integration tests exercising the whole stack the way the
+// paper's headline evaluation does: generate a suite graph, apply each
+// technique at paper-default knobs, run algorithms on the simulator
+// against each baseline, and check the qualitative contracts — speedups
+// materialize through the intended mechanism (coalescing efficiency,
+// shared fraction, SIMD efficiency) while inaccuracy stays bounded.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "graph/validate.hpp"
+
+namespace graffix::core {
+namespace {
+
+ExperimentConfig base_config(Technique technique) {
+  ExperimentConfig config;
+  config.scale = 10;
+  config.technique = technique;
+  config.bc_sources = 2;
+  return config;
+}
+
+TEST(Integration, CoalescingImprovesCoalescingEfficiency) {
+  const auto suite = make_suite(10);
+  const ExperimentConfig config =
+      resolve_for_graph(base_config(Technique::Coalescing), suite[0].preset);
+  Pipeline pipeline(suite[0].graph);
+  apply_technique(pipeline, config);
+  EXPECT_TRUE(validate_graph(pipeline.current()).ok);
+
+  RunConfig rc;
+  const auto exact = pipeline.run_exact(Algorithm::PR, rc);
+  const auto approx = pipeline.run(Algorithm::PR, rc);
+  // Renumbering + replication must reduce the gather traffic needed per
+  // unit of useful work (iteration counts differ, so compare per lane).
+  EXPECT_LT(approx.stats.gather_transactions_per_lane(),
+            exact.stats.gather_transactions_per_lane());
+}
+
+TEST(Integration, LatencyTechniqueMovesTrafficToSharedMemory) {
+  const auto suite = make_suite(10);
+  const ExperimentConfig config =
+      resolve_for_graph(base_config(Technique::Latency), suite[0].preset);
+  Pipeline pipeline(suite[0].graph);
+  apply_technique(pipeline, config);
+  const auto approx = pipeline.run(Algorithm::PR, {});
+  const auto exact = pipeline.run_exact(Algorithm::PR, {});
+  EXPECT_GT(approx.stats.shared_fraction(), exact.stats.shared_fraction());
+}
+
+TEST(Integration, DivergenceTechniqueRaisesSimdEfficiency) {
+  const auto suite = make_suite(10);
+  const ExperimentConfig config =
+      resolve_for_graph(base_config(Technique::Divergence), suite[0].preset);
+  Pipeline pipeline(suite[0].graph);
+  apply_technique(pipeline, config);
+  const auto approx = pipeline.run(Algorithm::PR, {});
+  const auto exact = pipeline.run_exact(Algorithm::PR, {});
+  EXPECT_GT(approx.stats.simd_efficiency(), exact.stats.simd_efficiency());
+}
+
+class TechniqueIntegration : public ::testing::TestWithParam<Technique> {};
+
+TEST_P(TechniqueIntegration, InaccuracyBoundedOnRmat) {
+  const auto suite = make_suite(9);
+  ExperimentConfig config = base_config(GetParam());
+  config.scale = 9;
+  config.algorithms = {Algorithm::SSSP, Algorithm::PR};
+  const auto rows = run_graph(suite[0], config);
+  for (const auto& row : rows) {
+    // The paper's worst cell is 19%; allow slack for the small scale.
+    EXPECT_LT(row.inaccuracy_pct, 40.0)
+        << algorithm_name(row.algorithm);
+  }
+}
+
+TEST_P(TechniqueIntegration, SpeedupWithinPlausibleBand) {
+  const auto suite = make_suite(9);
+  ExperimentConfig config = base_config(GetParam());
+  config.scale = 9;
+  config.algorithms = {Algorithm::PR};
+  const auto rows = run_graph(suite[0], config);
+  for (const auto& row : rows) {
+    EXPECT_GT(row.speedup, 0.5);
+    EXPECT_LT(row.speedup, 5.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTechniques, TechniqueIntegration,
+                         ::testing::Values(Technique::Coalescing,
+                                           Technique::Latency,
+                                           Technique::Divergence));
+
+TEST(Integration, FullSweepAcrossBaselinesRuns) {
+  // Smoke: every baseline completes every algorithm on a small rmat.
+  const auto suite = make_suite(8);
+  for (auto baseline : baselines::all_baselines()) {
+    ExperimentConfig config = base_config(Technique::Divergence);
+    config.scale = 8;
+    config.baseline = baseline;
+    config.algorithms = all_algorithms();
+    const auto rows = run_graph(suite[0], config);
+    EXPECT_EQ(rows.size(), 5u);
+    for (const auto& row : rows) {
+      EXPECT_GT(row.exact_seconds, 0.0)
+          << baselines::baseline_name(baseline) << " "
+          << algorithm_name(row.algorithm);
+    }
+  }
+}
+
+TEST(Integration, TigrIsFasterThanTopologyDriven) {
+  // Table 2 vs Table 3 shape: Tigr's exact times beat Baseline-I.
+  const auto suite = make_suite(10);
+  ExperimentConfig config = base_config(Technique::None);
+  config.algorithms = {Algorithm::SSSP};
+  Pipeline pipeline(suite[0].graph);
+  RunConfig topo;
+  topo.baseline = baselines::BaselineId::TopologyDriven;
+  RunConfig tigr;
+  tigr.baseline = baselines::BaselineId::TigrLike;
+  const auto a = pipeline.run_exact(Algorithm::SSSP, topo);
+  const auto b = pipeline.run_exact(Algorithm::SSSP, tigr);
+  EXPECT_LT(b.sim_seconds, a.sim_seconds);
+}
+
+TEST(Integration, RoadNetworkPunishesTopologyDriven) {
+  // The USA-road row of Tables 2/4: topology-driven SSSP pays the full
+  // diameter in all-vertex sweeps; data-driven frontiers do not.
+  const auto suite = make_suite(10);
+  Pipeline pipeline(suite[3].graph);  // USA-road
+  RunConfig topo;
+  topo.baseline = baselines::BaselineId::TopologyDriven;
+  RunConfig gunrock;
+  gunrock.baseline = baselines::BaselineId::GunrockLike;
+  const auto a = pipeline.run_exact(Algorithm::SSSP, topo);
+  const auto b = pipeline.run_exact(Algorithm::SSSP, gunrock);
+  EXPECT_GT(a.sim_seconds / b.sim_seconds, 2.0);
+}
+
+}  // namespace
+}  // namespace graffix::core

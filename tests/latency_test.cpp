@@ -1,0 +1,208 @@
+// Latency transform (§3) tests: edges are only added (never removed),
+// the budget bounds insertions, cluster membership is disjoint and
+// matches the resident index, inner iteration counts follow the
+// 2x-diameter rule, and CC actually increases.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gen/rmat.hpp"
+#include "gen/road_grid.hpp"
+#include "graph/builder.hpp"
+#include "graph/validate.hpp"
+#include "transform/latency.hpp"
+
+namespace graffix::transform {
+namespace {
+
+Csr clustered_graph() {
+  // Two triangles joined by a path: high-CC anchors exist.
+  GraphBuilder b(8);
+  auto undirected = [&](NodeId u, NodeId v) {
+    b.add_edge(u, v);
+    b.add_edge(v, u);
+  };
+  undirected(0, 1);
+  undirected(1, 2);
+  undirected(2, 0);
+  undirected(3, 4);
+  undirected(4, 5);
+  undirected(5, 3);
+  undirected(2, 6);
+  undirected(6, 7);
+  undirected(7, 3);
+  return b.build();
+}
+
+Csr small_rmat(std::uint32_t scale = 10) {
+  RmatParams p;
+  p.scale = scale;
+  p.edge_factor = 8;
+  return generate_rmat(p);
+}
+
+LatencyKnobs knobs(double threshold = 0.5, double budget = 0.1) {
+  LatencyKnobs k;
+  k.cc_threshold = threshold;
+  k.near_delta = 0.3;
+  k.edge_budget_fraction = budget;
+  return k;
+}
+
+TEST(Latency, OutputIsValid) {
+  const auto result = latency_transform(small_rmat(), knobs());
+  EXPECT_TRUE(validate_graph(result.graph).ok);
+}
+
+TEST(Latency, OnlyAddsEdges) {
+  Csr g = small_rmat();
+  const auto result = latency_transform(g, knobs());
+  EXPECT_EQ(result.graph.num_edges(), g.num_edges() + result.edges_added);
+  // Every original edge survives in place (extra arcs are appended).
+  for (NodeId u = 0; u < g.num_slots(); ++u) {
+    const auto before = g.neighbors(u);
+    const auto after = result.graph.neighbors(u);
+    ASSERT_GE(after.size(), before.size());
+    for (std::size_t i = 0; i < before.size(); ++i) {
+      EXPECT_EQ(after[i], before[i]);
+    }
+  }
+}
+
+TEST(Latency, BudgetBoundsInsertions) {
+  Csr g = small_rmat();
+  const auto result = latency_transform(g, knobs(0.3, 0.02));
+  EXPECT_LE(result.edges_added,
+            static_cast<std::uint64_t>(0.02 * g.num_edges()) + 2);
+}
+
+TEST(Latency, ZeroBudgetAddsNothing) {
+  Csr g = small_rmat();
+  const auto result = latency_transform(g, knobs(0.5, 0.0));
+  EXPECT_EQ(result.edges_added, 0u);
+  EXPECT_EQ(result.graph.num_edges(), g.num_edges());
+}
+
+TEST(Latency, TriangleAnchorsBecomeClusters) {
+  const auto result = latency_transform(clustered_graph(), knobs(0.9, 0.0));
+  // Triangle members have CC 1.0 >= 0.9: at least one cluster forms.
+  ASSERT_FALSE(result.schedule.empty());
+  // A cluster anchored at a triangle node has the anchor + >= 2 members.
+  EXPECT_GE(result.schedule.clusters[0].members.size(), 3u);
+}
+
+TEST(Latency, ClustersAreDisjointAndIndexed) {
+  const auto result = latency_transform(small_rmat(), knobs(0.3));
+  const auto& schedule = result.schedule;
+  std::set<NodeId> seen;
+  for (std::size_t c = 0; c < schedule.clusters.size(); ++c) {
+    for (NodeId m : schedule.clusters[c].members) {
+      EXPECT_TRUE(seen.insert(m).second) << "slot " << m << " in two clusters";
+      ASSERT_LT(m, schedule.resident.size());
+      EXPECT_EQ(schedule.resident[m], static_cast<NodeId>(c));
+    }
+  }
+  for (NodeId s = 0; s < result.graph.num_slots(); ++s) {
+    if (!seen.count(s)) {
+      EXPECT_EQ(schedule.resident[s], kInvalidNode);
+    }
+  }
+}
+
+TEST(Latency, InnerIterationsFollowDiameterRule) {
+  LatencyKnobs k = knobs(0.9, 0.0);
+  k.t_diameter_factor = 2.0;
+  const auto result = latency_transform(clustered_graph(), k);
+  for (const auto& cluster : result.schedule.clusters) {
+    // Triangle cluster: diameter 1 -> t = 2.
+    EXPECT_GE(cluster.inner_iterations, 1u);
+    EXPECT_LE(cluster.inner_iterations,
+              2 * cluster.members.size());
+  }
+}
+
+TEST(Latency, ClusterSizeRespectsCap) {
+  LatencyKnobs k = knobs(0.2, 0.1);
+  k.cluster_cap = 8;
+  const auto result = latency_transform(small_rmat(), k);
+  for (const auto& cluster : result.schedule.clusters) {
+    EXPECT_LE(cluster.members.size(), 8u);
+  }
+}
+
+TEST(Latency, MeanCcDoesNotDecrease) {
+  const auto result = latency_transform(small_rmat(), knobs(0.3, 0.1));
+  EXPECT_GE(result.mean_cc_after, result.mean_cc_before - 1e-12);
+}
+
+TEST(Latency, EdgeInsertionRaisesCcWhenBudgetAllows) {
+  // Near-threshold square: 4-cycle has CC 0; with a chord the corner CCs
+  // rise. Use a wheel-ish graph where scenario 1 applies.
+  GraphBuilder b(5);
+  auto undirected = [&](NodeId u, NodeId v) {
+    b.add_edge(u, v);
+    b.add_edge(v, u);
+  };
+  // Center 0 adjacent to 1,2,3,4; one chord 1-2 -> CC(0) = 1/6 ~ 0.17.
+  undirected(0, 1);
+  undirected(0, 2);
+  undirected(0, 3);
+  undirected(0, 4);
+  undirected(1, 2);
+  LatencyKnobs k;
+  k.cc_threshold = 0.3;
+  k.near_delta = 0.2;   // 0.17 is in [0.1, 0.3): scenario 1 fires
+  k.edge_budget_fraction = 1.0;
+  const auto result = latency_transform(b.build(), k);
+  EXPECT_GT(result.edges_added, 0u);
+  EXPECT_GT(result.mean_cc_after, result.mean_cc_before);
+}
+
+TEST(Latency, WeightedNewEdgesUseTwoHopSum) {
+  GraphBuilder b(4);
+  b.set_weighted(true);
+  auto undirected = [&](NodeId u, NodeId v, Weight w) {
+    b.add_edge(u, v, w);
+    b.add_edge(v, u, w);
+  };
+  // Anchor 0 with siblings 1,2,3; sibling pair (1,2) linked -> CC(0)=1/3.
+  undirected(0, 1, 2.0f);
+  undirected(0, 2, 3.0f);
+  undirected(0, 3, 5.0f);
+  undirected(1, 2, 1.0f);
+  LatencyKnobs k;
+  k.cc_threshold = 0.5;
+  k.near_delta = 0.2;  // CC(0) = 1/3 in [0.3, 0.5)
+  k.edge_budget_fraction = 1.0;
+  const auto result = latency_transform(b.build(), k);
+  ASSERT_GT(result.edges_added, 0u);
+  // Any inserted arc's weight equals the sum of the two hops through the
+  // anchor: pairs from {2,3,5} -> sums in {5,7,8}.
+  const std::set<float> valid{5.0f, 7.0f, 8.0f};
+  for (NodeId u = 0; u < result.graph.num_slots(); ++u) {
+    const auto before_deg = u < 4 ? 2 + (u == 0 ? 1 : 0) : 0;
+    (void)before_deg;
+    const auto nbrs = result.graph.neighbors(u);
+    const auto wts = result.graph.edge_weights(u);
+    const auto orig_deg = (u == 0) ? 3u : (u <= 2 ? 2u : 1u);
+    for (std::size_t i = orig_deg; i < nbrs.size(); ++i) {
+      EXPECT_TRUE(valid.count(wts[i])) << "weight " << wts[i];
+    }
+  }
+}
+
+TEST(Latency, RoadGridFormsClustersAfterBoost) {
+  RoadGridParams p;
+  p.width = 24;
+  p.height = 24;
+  p.diagonal_fraction = 0.15;
+  Csr g = generate_road_grid(p);
+  LatencyKnobs k = knobs(0.25, 0.15);
+  k.near_delta = 0.25;
+  const auto result = latency_transform(g, k);
+  EXPECT_TRUE(validate_graph(result.graph).ok);
+  EXPECT_FALSE(result.schedule.empty());
+}
+
+}  // namespace
+}  // namespace graffix::transform

@@ -1,0 +1,107 @@
+// Metric tests: the inaccuracy definitions from §5, speedup, geomean,
+// and the ASCII table renderer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "metrics/accuracy.hpp"
+#include "metrics/table.hpp"
+
+namespace graffix::metrics {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(AttributeError, ZeroForIdenticalVectors) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const auto err = attribute_error(a, a);
+  EXPECT_DOUBLE_EQ(err.inaccuracy_pct, 0.0);
+  EXPECT_EQ(err.compared, 3u);
+  EXPECT_EQ(err.mismatched_reach, 0u);
+}
+
+TEST(AttributeError, KnownRelativeError) {
+  const std::vector<double> exact{10.0, 10.0};
+  const std::vector<double> approx{11.0, 9.0};
+  const auto err = attribute_error(exact, approx);
+  // mean |diff| = 1, mean exact = 10 -> 10%.
+  EXPECT_DOUBLE_EQ(err.inaccuracy_pct, 10.0);
+}
+
+TEST(AttributeError, BothInfiniteAgree) {
+  const std::vector<double> exact{kInf, 5.0};
+  const std::vector<double> approx{kInf, 5.0};
+  const auto err = attribute_error(exact, approx);
+  EXPECT_EQ(err.compared, 1u);
+  EXPECT_DOUBLE_EQ(err.inaccuracy_pct, 0.0);
+}
+
+TEST(AttributeError, ReachabilityMismatchCounted) {
+  const std::vector<double> exact{kInf, 5.0};
+  const std::vector<double> approx{3.0, 5.0};
+  const auto err = attribute_error(exact, approx);
+  EXPECT_EQ(err.mismatched_reach, 1u);
+  EXPECT_EQ(err.compared, 1u);
+}
+
+TEST(AttributeError, ZeroExactMeanHandled) {
+  const std::vector<double> exact{0.0, 0.0};
+  const std::vector<double> identical{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(attribute_error(exact, identical).inaccuracy_pct, 0.0);
+  const std::vector<double> off{1.0, 0.0};
+  EXPECT_DOUBLE_EQ(attribute_error(exact, off).inaccuracy_pct, 100.0);
+}
+
+TEST(ScalarInaccuracy, RelativeDifference) {
+  EXPECT_DOUBLE_EQ(scalar_inaccuracy_pct(100.0, 88.0), 12.0);
+  EXPECT_DOUBLE_EQ(scalar_inaccuracy_pct(100.0, 112.0), 12.0);
+  EXPECT_DOUBLE_EQ(scalar_inaccuracy_pct(50.0, 50.0), 0.0);
+}
+
+TEST(Speedup, Ratio) {
+  EXPECT_DOUBLE_EQ(speedup(2.0, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(speedup(1.0, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(speedup(1.0, 0.0), 0.0);
+}
+
+TEST(Geomean, KnownValues) {
+  const std::vector<double> v{1.0, 4.0};
+  EXPECT_DOUBLE_EQ(geomean(v), 2.0);
+  const std::vector<double> single{3.0};
+  EXPECT_DOUBLE_EQ(geomean(single), 3.0);
+  EXPECT_DOUBLE_EQ(geomean({}), 1.0);
+}
+
+TEST(Geomean, MatchesPaperStyleAggregation) {
+  // Table 6 style: geomean of speedups 1.22, 1.13, 1.18, 1.15, 1.17.
+  const std::vector<double> v{1.22, 1.13, 1.18, 1.15, 1.17};
+  const double gm = geomean(v);
+  EXPECT_NEAR(gm, 1.17, 0.01);
+}
+
+TEST(Table, RendersHeadersAndRows) {
+  Table t({"Graph", "Speedup", "Inaccuracy"});
+  t.add_row({"rmat26", Table::speedup(1.22), Table::pct(12)});
+  t.add_rule();
+  t.add_row({"Geomean", Table::speedup(1.16), Table::pct(10)});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("rmat26"), std::string::npos);
+  EXPECT_NE(out.find("1.22x"), std::string::npos);
+  EXPECT_NE(out.find("12%"), std::string::npos);
+  EXPECT_NE(out.find("Geomean"), std::string::npos);
+  // Header and rows share column boundaries ('|' count per line).
+  std::size_t bars = 0;
+  for (char c : out.substr(0, out.find('\n'))) bars += c == '+';
+  EXPECT_GE(bars, 4u);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::speedup(1.5), "1.50x");
+  EXPECT_EQ(Table::pct(12.4, 0), "12%");
+  EXPECT_EQ(Table::pct(12.44, 1), "12.4%");
+}
+
+}  // namespace
+}  // namespace graffix::metrics

@@ -1,0 +1,137 @@
+// Pipeline (public API) tests: technique application and reset, artifact
+// wiring into run(), projection back to node ids, preprocessing
+// reporting, and exactness guarantees of the disabled-approximation
+// configurations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/pipeline.hpp"
+#include "gen/rmat.hpp"
+#include "graph/validate.hpp"
+
+namespace graffix {
+namespace {
+
+Csr small_rmat(std::uint32_t scale = 9) {
+  RmatParams p;
+  p.scale = scale;
+  p.edge_factor = 8;
+  return generate_rmat(p);
+}
+
+TEST(Pipeline, StartsWithNoTechnique) {
+  Pipeline pipeline(small_rmat());
+  EXPECT_EQ(pipeline.technique(), Technique::None);
+  EXPECT_EQ(&pipeline.current(), &pipeline.original());
+  EXPECT_DOUBLE_EQ(pipeline.extra_space_fraction(), 0.0);
+  EXPECT_EQ(pipeline.edges_added(), 0u);
+}
+
+TEST(Pipeline, ApplyCoalescingSwitchesCurrent) {
+  Pipeline pipeline(small_rmat());
+  transform::CoalescingKnobs knobs;
+  knobs.connectedness_threshold = 0.3;
+  const auto& result = pipeline.apply_coalescing(knobs);
+  EXPECT_EQ(pipeline.technique(), Technique::Coalescing);
+  EXPECT_NE(&pipeline.current(), &pipeline.original());
+  EXPECT_TRUE(validate_graph(pipeline.current()).ok);
+  EXPECT_GE(pipeline.preprocessing_seconds(), 0.0);
+  EXPECT_EQ(pipeline.edges_added(), result.edges_added);
+}
+
+TEST(Pipeline, ResetRestoresOriginal) {
+  Pipeline pipeline(small_rmat());
+  pipeline.apply_divergence({});
+  EXPECT_EQ(pipeline.technique(), Technique::Divergence);
+  pipeline.reset();
+  EXPECT_EQ(pipeline.technique(), Technique::None);
+  EXPECT_EQ(&pipeline.current(), &pipeline.original());
+}
+
+TEST(Pipeline, TechniquesReplaceEachOther) {
+  Pipeline pipeline(small_rmat());
+  pipeline.apply_latency({});
+  pipeline.apply_divergence({});
+  EXPECT_EQ(pipeline.technique(), Technique::Divergence);
+}
+
+TEST(Pipeline, SlotMappingIdentityWithoutCoalescing) {
+  Pipeline pipeline(small_rmat());
+  EXPECT_EQ(pipeline.slot_of_node(5), 5u);
+  pipeline.apply_divergence({});
+  EXPECT_EQ(pipeline.slot_of_node(5), 5u);
+}
+
+TEST(Pipeline, SlotMappingFollowsRenumbering) {
+  Pipeline pipeline(small_rmat());
+  const auto& result = pipeline.apply_coalescing({});
+  for (NodeId v = 0; v < 10; ++v) {
+    EXPECT_EQ(pipeline.slot_of_node(v), result.renumber.slot_of_node[v]);
+  }
+}
+
+TEST(Pipeline, ProjectionRoundTrip) {
+  Pipeline pipeline(small_rmat());
+  pipeline.apply_coalescing({});
+  std::vector<double> attr(pipeline.current().num_slots());
+  for (std::size_t s = 0; s < attr.size(); ++s) attr[s] = double(s);
+  const auto projected = pipeline.project(attr);
+  ASSERT_EQ(projected.size(), pipeline.original().num_nodes());
+  for (NodeId v = 0; v < 10; ++v) {
+    EXPECT_DOUBLE_EQ(projected[v], double(pipeline.slot_of_node(v)));
+  }
+}
+
+TEST(Pipeline, ExactIsomorphHasZeroPagerankError) {
+  // connectedness > 1: pure renumbering; PR projected back must match the
+  // exact run bit-for-bit up to float tolerance.
+  Pipeline pipeline(small_rmat(8));
+  transform::CoalescingKnobs knobs;
+  knobs.connectedness_threshold = 1.5;
+  pipeline.apply_coalescing(knobs);
+
+  const auto exact = pipeline.run_exact(core::Algorithm::PR);
+  const auto approx = pipeline.run(core::Algorithm::PR);
+  const auto projected = pipeline.project(approx.attr);
+  for (NodeId v = 0; v < pipeline.original().num_nodes(); ++v) {
+    EXPECT_NEAR(projected[v], exact.attr[v], 1e-9) << v;
+  }
+}
+
+TEST(Pipeline, RunWiresDivergenceOrder) {
+  Pipeline pipeline(small_rmat(10));
+  pipeline.apply_divergence({});
+  const auto plain = pipeline.run_exact(core::Algorithm::PR);
+  const auto transformed = pipeline.run(core::Algorithm::PR);
+  // Bucketed warp order: better SIMD efficiency than the exact run.
+  EXPECT_GT(transformed.stats.simd_efficiency(),
+            plain.stats.simd_efficiency());
+}
+
+TEST(Pipeline, RunWiresLatencyClusters) {
+  Pipeline pipeline(small_rmat(10));
+  transform::LatencyKnobs knobs;
+  knobs.cc_threshold = 0.2;
+  knobs.near_delta = 0.2;
+  const auto& result = pipeline.apply_latency(knobs);
+  if (result.schedule.empty()) GTEST_SKIP() << "no clusters at this scale";
+  const auto out = pipeline.run(core::Algorithm::PR);
+  EXPECT_GT(out.stats.shared_accesses, 0u);
+}
+
+TEST(Pipeline, PreprocessingSecondsPositiveForRealWork) {
+  Pipeline pipeline(small_rmat(11));
+  pipeline.apply_coalescing({});
+  EXPECT_GT(pipeline.preprocessing_seconds(), 0.0);
+}
+
+TEST(TechniqueName, AllNamesDistinct) {
+  EXPECT_STREQ(technique_name(Technique::None), "none");
+  EXPECT_STREQ(technique_name(Technique::Coalescing), "coalescing");
+  EXPECT_STREQ(technique_name(Technique::Latency), "latency");
+  EXPECT_STREQ(technique_name(Technique::Divergence), "divergence");
+}
+
+}  // namespace
+}  // namespace graffix

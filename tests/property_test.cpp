@@ -1,0 +1,163 @@
+// Cross-module property sweeps (parameterized over the whole Table 1
+// suite and knob grids): the structural invariants that must hold for
+// EVERY graph regime and EVERY knob setting, not just the hand-picked
+// unit-test instances.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "core/pipeline.hpp"
+#include "gen/suite.hpp"
+#include "graph/validate.hpp"
+#include "metrics/accuracy.hpp"
+#include "transform/coalescing.hpp"
+#include "transform/combined.hpp"
+#include "transform/divergence.hpp"
+#include "transform/latency.hpp"
+
+namespace graffix {
+namespace {
+
+constexpr std::uint32_t kScale = 9;
+
+class SuiteProperty : public ::testing::TestWithParam<GraphPreset> {
+ protected:
+  Csr graph() const { return make_preset(GetParam(), kScale); }
+};
+
+TEST_P(SuiteProperty, RenumberingIsATotalBijection) {
+  const Csr g = graph();
+  for (std::uint32_t k : {4u, 16u}) {
+    const auto r = transform::renumber_bfs_forest(g, k);
+    std::vector<std::uint8_t> seen(r.num_slots, 0);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      const NodeId s = r.slot_of_node[v];
+      ASSERT_LT(s, r.num_slots);
+      ASSERT_FALSE(seen[s]) << "slot " << s << " reused (k=" << k << ")";
+      seen[s] = 1;
+    }
+    ASSERT_EQ(r.num_slots % k, 0u);
+  }
+}
+
+TEST_P(SuiteProperty, CoalescingOutputAlwaysValid) {
+  const Csr g = graph();
+  for (double threshold : {0.2, 0.6}) {
+    transform::CoalescingKnobs knobs;
+    knobs.connectedness_threshold = threshold;
+    const auto result = transform::coalescing_transform(g, knobs);
+    const auto report = validate_graph(result.graph);
+    EXPECT_TRUE(report.ok)
+        << preset_name(GetParam()) << " thr=" << threshold << ": "
+        << report.message;
+    EXPECT_EQ(result.graph.num_edges(), g.num_edges() + result.edges_added);
+    // Replica groups never exceed the cap.
+    for (const auto& group : result.replicas.groups) {
+      EXPECT_LE(group.size(), knobs.max_replicas_per_node + 1);
+    }
+  }
+}
+
+TEST_P(SuiteProperty, LatencyOutputAlwaysValid) {
+  const Csr g = graph();
+  for (double threshold : {0.15, 0.45}) {
+    transform::LatencyKnobs knobs;
+    knobs.cc_threshold = threshold;
+    knobs.near_delta = 0.25;
+    const auto result = transform::latency_transform(g, knobs);
+    EXPECT_TRUE(validate_graph(result.graph).ok) << preset_name(GetParam());
+    // Disjoint cluster membership matching the resident index.
+    std::set<NodeId> members;
+    for (std::size_t c = 0; c < result.schedule.clusters.size(); ++c) {
+      for (NodeId m : result.schedule.clusters[c].members) {
+        EXPECT_TRUE(members.insert(m).second);
+        EXPECT_EQ(result.schedule.resident[m], static_cast<NodeId>(c));
+      }
+    }
+  }
+}
+
+TEST_P(SuiteProperty, DivergenceOutputAlwaysValid) {
+  const Csr g = graph();
+  for (double threshold : {0.15, 0.45}) {
+    transform::DivergenceKnobs knobs;
+    knobs.degree_sim_threshold = threshold;
+    const auto result = transform::divergence_transform(g, knobs);
+    EXPECT_TRUE(validate_graph(result.graph).ok) << preset_name(GetParam());
+    // warp_order is a permutation of all slots.
+    std::vector<NodeId> sorted = result.warp_order;
+    std::sort(sorted.begin(), sorted.end());
+    for (NodeId i = 0; i < g.num_slots(); ++i) ASSERT_EQ(sorted[i], i);
+    // Degree normalization never overshoots: uniformity is monotone.
+    EXPECT_GE(result.degree_uniformity_after,
+              result.degree_uniformity_before - 1e-12);
+  }
+}
+
+TEST_P(SuiteProperty, CombinedOutputAlwaysValid) {
+  const Csr g = graph();
+  transform::CombinedKnobs knobs;
+  knobs.coalescing = transform::CoalescingKnobs{.connectedness_threshold = 0.4};
+  knobs.latency = transform::LatencyKnobs{.cc_threshold = 0.3};
+  knobs.divergence = transform::DivergenceKnobs{.degree_sim_threshold = 0.3};
+  const auto result = transform::combined_transform(g, knobs);
+  EXPECT_TRUE(validate_graph(result.graph).ok) << preset_name(GetParam());
+  // No cluster member belongs to a replica group (the composition rule).
+  for (const auto& cluster : result.schedule.clusters) {
+    for (NodeId m : cluster.members) {
+      if (!result.replicas.group_of_slot.empty()) {
+        EXPECT_EQ(result.replicas.group_of_slot[m], kInvalidNode);
+      }
+    }
+  }
+}
+
+TEST_P(SuiteProperty, ExactIsomorphPreservesPagerankEverywhere) {
+  const Csr g = graph();
+  Pipeline pipeline(g);
+  transform::CoalescingKnobs knobs;
+  knobs.connectedness_threshold = 1.5;  // replication off -> exact
+  pipeline.apply_coalescing(knobs);
+  const auto exact = pipeline.run_exact(core::Algorithm::PR);
+  const auto approx = pipeline.run(core::Algorithm::PR);
+  const auto error =
+      metrics::attribute_error(exact.attr, pipeline.project(approx.attr));
+  EXPECT_LT(error.inaccuracy_pct, 1e-6) << preset_name(GetParam());
+}
+
+TEST_P(SuiteProperty, SsspNeverUndershootsExact) {
+  // Added edges always carry path-sum weights: approximate distances can
+  // never beat the true shortest paths (beyond the relax tolerance).
+  const Csr g = graph();
+  Pipeline pipeline(g);
+  transform::DivergenceKnobs knobs;
+  knobs.degree_sim_threshold = 0.4;
+  pipeline.apply_divergence(knobs);
+  core::RunConfig rc;
+  rc.sssp_source = 0;
+  const auto exact = pipeline.run_exact(core::Algorithm::SSSP, rc);
+  const auto approx = pipeline.run(core::Algorithm::SSSP, rc);
+  for (NodeId v = 0; v < g.num_slots(); ++v) {
+    if (std::isfinite(exact.attr[v]) && std::isfinite(approx.attr[v])) {
+      EXPECT_GT(approx.attr[v], exact.attr[v] - 0.02 * (1.0 + exact.attr[v]))
+          << preset_name(GetParam()) << " node " << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPresets, SuiteProperty,
+                         ::testing::ValuesIn(all_presets()),
+                         [](const auto& info) {
+                           std::string name = preset_name(info.param);
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace graffix

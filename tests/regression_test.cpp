@@ -1,0 +1,123 @@
+// Reproduction regression bands: the headline geomeans of the paper's
+// tables, asserted with generous tolerances so a code change that breaks
+// a technique's mechanism (not just shifts a constant) fails CI.
+//
+// Bands are centered on EXPERIMENTS.md's measured values at scale 10
+// (a notch below the bench default to keep the suite fast); they are
+// deliberately loose — the goal is "the technique still works", not
+// bit-stability.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+
+namespace graffix::core {
+namespace {
+
+ExperimentConfig config_for(Technique technique,
+                            baselines::BaselineId baseline) {
+  ExperimentConfig config;
+  config.scale = 10;
+  config.technique = technique;
+  config.baseline = baseline;
+  config.bc_sources = 3;
+  config.algorithms = {Algorithm::SSSP, Algorithm::PR, Algorithm::BC};
+  return config;
+}
+
+struct Band {
+  Technique technique;
+  baselines::BaselineId baseline;
+  double min_speedup;
+  double max_speedup;
+  double max_inaccuracy_pct;
+};
+
+class ReproductionBand : public ::testing::TestWithParam<Band> {};
+
+TEST_P(ReproductionBand, GeomeanWithinBand) {
+  const Band band = GetParam();
+  const auto rows = run_table(config_for(band.technique, band.baseline));
+  const auto summary = summarize(rows);
+  EXPECT_GE(summary.speedup, band.min_speedup)
+      << technique_name(band.technique) << " vs "
+      << baselines::baseline_name(band.baseline);
+  EXPECT_LE(summary.speedup, band.max_speedup);
+  EXPECT_LE(summary.inaccuracy_pct, band.max_inaccuracy_pct);
+  // Per-cell sanity: nothing should collapse below half speed.
+  for (const auto& row : rows) {
+    EXPECT_GT(row.speedup, 0.5)
+        << row.graph << " " << algorithm_name(row.algorithm);
+    EXPECT_LT(row.inaccuracy_pct, 60.0)
+        << row.graph << " " << algorithm_name(row.algorithm);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperTables, ReproductionBand,
+    ::testing::Values(
+        // Table 6/7/8 class (vs Baseline-I). Paper: 1.16 / 1.20 / 1.07.
+        Band{Technique::Coalescing, baselines::BaselineId::TopologyDriven,
+             1.00, 1.60, 12.0},
+        // Latency needs cluster coverage to amortize staging; at this
+        // test's scale 10 it hovers near break-even (1.1+ from scale 11).
+        Band{Technique::Latency, baselines::BaselineId::TopologyDriven,
+             0.90, 1.80, 15.0},
+        Band{Technique::Divergence, baselines::BaselineId::TopologyDriven,
+             0.95, 1.40, 12.0},
+        // Tables 9-14 class (vs data-driven baselines). Paper: ~1.0-1.2.
+        Band{Technique::Coalescing, baselines::BaselineId::TigrLike, 0.95,
+             1.60, 12.0},
+        Band{Technique::Divergence, baselines::BaselineId::GunrockLike, 0.90,
+             1.40, 12.0},
+        // Extension: the combined stack must stay a net win.
+        Band{Technique::Combined, baselines::BaselineId::TopologyDriven,
+             1.00, 2.00, 20.0}),
+    [](const auto& info) {
+      return std::string(technique_name(info.param.technique)) + "_vs_" +
+             (info.param.baseline == baselines::BaselineId::TopologyDriven
+                  ? "B1"
+                  : info.param.baseline == baselines::BaselineId::TigrLike
+                        ? "Tigr"
+                        : "Gunrock");
+    });
+
+TEST(ReproductionShape, ExactBaselineOrderingHolds) {
+  // Tables 2-4 shape: Tigr fastest, Baseline-I slowest, for SSSP.
+  ExperimentConfig config = config_for(Technique::None,
+                                       baselines::BaselineId::TopologyDriven);
+  config.algorithms = {Algorithm::SSSP};
+  double seconds[3] = {};
+  int index = 0;
+  for (auto baseline : baselines::all_baselines()) {
+    config.baseline = baseline;
+    const auto rows = run_exact_table(config);
+    double total = 0;
+    for (const auto& row : rows) total += row.exact_seconds;
+    seconds[index++] = total;
+  }
+  const double b1 = seconds[0], tigr = seconds[1], gunrock = seconds[2];
+  EXPECT_LT(tigr, b1);
+  EXPECT_LT(gunrock, b1);
+  EXPECT_LT(tigr, gunrock * 1.5);  // Tigr at least competitive with Gunrock
+}
+
+TEST(ReproductionShape, RoadPunishesTopologyDrivenSssp) {
+  ExperimentConfig config = config_for(Technique::None,
+                                       baselines::BaselineId::TopologyDriven);
+  config.algorithms = {Algorithm::SSSP};
+  const auto b1 = run_exact_table(config);
+  config.baseline = baselines::BaselineId::GunrockLike;
+  const auto gunrock = run_exact_table(config);
+  // USA-road row: paper gap 152s vs 25s ~ 6x; require >= 2x here.
+  double b1_road = 0, gunrock_road = 0;
+  for (const auto& row : b1) {
+    if (row.graph == "USA-road") b1_road = row.exact_seconds;
+  }
+  for (const auto& row : gunrock) {
+    if (row.graph == "USA-road") gunrock_road = row.exact_seconds;
+  }
+  EXPECT_GT(b1_road / gunrock_road, 2.0);
+}
+
+}  // namespace
+}  // namespace graffix::core

@@ -1,0 +1,172 @@
+// Replication (Algorithm 2, step 2) tests: replicas only occupy former
+// holes, replica groups are consistent, edges are conserved
+// (moved + added), the connectedness threshold gates replication, and
+// the full coalescing driver produces valid graphs with exactness when
+// replication is disabled.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "algorithms/pagerank.hpp"
+#include "algorithms/sssp.hpp"
+#include "gen/rmat.hpp"
+#include "gen/road_grid.hpp"
+#include "graph/validate.hpp"
+#include "transform/coalescing.hpp"
+
+namespace graffix::transform {
+namespace {
+
+Csr small_rmat(std::uint32_t scale = 9, std::uint32_t ef = 8) {
+  RmatParams p;
+  p.scale = scale;
+  p.edge_factor = ef;
+  return generate_rmat(p);
+}
+
+CoalescingKnobs default_knobs(double threshold = 0.3) {
+  CoalescingKnobs knobs;
+  knobs.chunk_size = 16;
+  knobs.connectedness_threshold = threshold;
+  return knobs;
+}
+
+TEST(Replicate, TransformedGraphIsValid) {
+  const auto result = coalescing_transform(small_rmat(), default_knobs());
+  EXPECT_TRUE(validate_graph(result.graph).ok);
+}
+
+TEST(Replicate, ReplicasOccupyFormerHolesOnly) {
+  Csr g = small_rmat();
+  const auto result = coalescing_transform(g, default_knobs());
+  // Every replica slot must be a hole of the pure renumbering.
+  for (const auto& group : result.replicas.groups) {
+    ASSERT_GE(group.size(), 2u);
+    // Primary is a real node.
+    EXPECT_FALSE(result.renumber.is_hole_slot(group[0]));
+    for (std::size_t i = 1; i < group.size(); ++i) {
+      EXPECT_TRUE(result.renumber.is_hole_slot(group[i]))
+          << "replica slot " << group[i];
+      // And it is no longer a hole in the final graph.
+      EXPECT_FALSE(result.graph.is_hole(group[i]));
+    }
+  }
+  EXPECT_LE(result.holes_filled, result.holes_total);
+}
+
+TEST(Replicate, GroupOfSlotIsConsistent) {
+  const auto result = coalescing_transform(small_rmat(), default_knobs());
+  const ReplicaMap& map = result.replicas;
+  for (std::size_t gid = 0; gid < map.groups.size(); ++gid) {
+    for (NodeId s : map.groups[gid]) {
+      EXPECT_EQ(map.group_of_slot[s], static_cast<NodeId>(gid));
+    }
+  }
+  // Slots not in any group have no group id.
+  std::set<NodeId> grouped;
+  for (const auto& g : map.groups) grouped.insert(g.begin(), g.end());
+  for (NodeId s = 0; s < result.graph.num_slots(); ++s) {
+    if (!grouped.count(s)) {
+      EXPECT_EQ(map.group_of_slot[s], kInvalidNode);
+    }
+  }
+}
+
+TEST(Replicate, EdgeCountConserved) {
+  Csr g = small_rmat();
+  const auto result = coalescing_transform(g, default_knobs());
+  // Moved edges keep the total; added 2-hop edges are on top.
+  EXPECT_EQ(result.graph.num_edges(), g.num_edges() + result.edges_added);
+}
+
+TEST(Replicate, ThresholdAboveOneDisablesReplication) {
+  Csr g = small_rmat();
+  const auto result = coalescing_transform(g, default_knobs(1.1));
+  EXPECT_TRUE(result.replicas.empty());
+  EXPECT_EQ(result.edges_added, 0u);
+  EXPECT_EQ(result.graph.num_edges(), g.num_edges());
+}
+
+TEST(Replicate, LowerThresholdReplicatesMore) {
+  Csr g = small_rmat(10, 16);
+  const auto strict = coalescing_transform(g, default_knobs(0.9));
+  const auto loose = coalescing_transform(g, default_knobs(0.2));
+  EXPECT_GE(loose.replicas.replica_count(), strict.replicas.replica_count());
+}
+
+TEST(Replicate, ExactIsomorphPreservesSssp) {
+  // With replication off, the transform is exact: SSSP results match the
+  // original modulo the slot permutation (the key property test).
+  Csr g = small_rmat(8);
+  const auto result = coalescing_transform(g, default_knobs(1.1));
+  const auto d_orig = sssp_dijkstra(g, 0);
+  const auto d_slots = sssp_dijkstra(result.graph,
+                                     result.renumber.slot_of_node[0]);
+  const std::vector<Weight> d_proj = project_to_nodes<Weight>(
+      result.renumber, std::span<const Weight>(d_slots));
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(d_orig[v], d_proj[v]) << "node " << v;
+  }
+}
+
+TEST(Replicate, ExactIsomorphPreservesPagerank) {
+  Csr g = small_rmat(8);
+  const auto result = coalescing_transform(g, default_knobs(1.1));
+  const auto pr_orig = pagerank(g);
+  const auto pr_new = pagerank(result.graph);
+  const std::vector<double> pr_proj = project_to_nodes<double>(
+      result.renumber, std::span<const double>(pr_new.rank));
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_NEAR(pr_orig.rank[v], pr_proj[v], 1e-9) << "node " << v;
+  }
+}
+
+TEST(Replicate, NewEdgesPerReplicaRespectCap) {
+  Csr g = small_rmat(10, 16);
+  CoalescingKnobs knobs = default_knobs(0.3);
+  knobs.max_new_edges_per_replica = 2;
+  const auto result = coalescing_transform(g, knobs);
+  EXPECT_LE(result.edges_added,
+            2ull * result.replicas.replica_count());
+}
+
+TEST(Replicate, ReplicaEdgesStayInsideTheirChunk) {
+  Csr g = small_rmat(10, 16);
+  CoalescingKnobs knobs = default_knobs(0.3);
+  const auto result = coalescing_transform(g, knobs);
+  const std::uint32_t k = knobs.chunk_size;
+  for (const auto& group : result.replicas.groups) {
+    for (std::size_t i = 1; i < group.size(); ++i) {
+      const NodeId replica = group[i];
+      const auto nbrs = result.graph.neighbors(replica);
+      if (nbrs.empty()) continue;
+      // All of a replica's edges target one chunk (the chunk it was
+      // created for).
+      const NodeId chunk = nbrs[0] / k;
+      for (NodeId v : nbrs) {
+        EXPECT_EQ(v / k, chunk) << "replica " << replica;
+      }
+    }
+  }
+}
+
+TEST(Replicate, RoadNetworkUsesLowerThreshold) {
+  // Road networks have small uniform degrees; replication should still
+  // find candidates at the paper's 0.4 threshold.
+  RoadGridParams p;
+  p.width = 32;
+  p.height = 32;
+  Csr g = generate_road_grid(p);
+  const auto result = coalescing_transform(g, default_knobs(0.4));
+  EXPECT_TRUE(validate_graph(result.graph).ok);
+}
+
+TEST(Replicate, ExtraSpaceFractionIsReported) {
+  const auto result = coalescing_transform(small_rmat(), default_knobs());
+  // Renumbering adds holes; replication adds edges -> strictly positive.
+  EXPECT_GT(result.extra_space_fraction, 0.0);
+  EXPECT_LT(result.extra_space_fraction, 1.0);
+}
+
+}  // namespace
+}  // namespace graffix::transform

@@ -1,0 +1,318 @@
+// Simulated-device runner tests: functional correctness of each
+// algorithm against the host references (exact runs must agree), across
+// all three baseline strategies, plus transform-artifact handling
+// (warp order, replicas, clusters).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algorithms/bc.hpp"
+#include "algorithms/mst.hpp"
+#include "algorithms/pagerank.hpp"
+#include "algorithms/scc.hpp"
+#include "algorithms/sssp.hpp"
+#include "core/runners.hpp"
+#include "gen/rmat.hpp"
+#include "gen/road_grid.hpp"
+#include "graph/builder.hpp"
+#include "transform/coalescing.hpp"
+#include "transform/divergence.hpp"
+#include "transform/latency.hpp"
+
+namespace graffix::core {
+namespace {
+
+Csr small_rmat(std::uint32_t scale = 9) {
+  RmatParams p;
+  p.scale = scale;
+  p.edge_factor = 8;
+  return generate_rmat(p);
+}
+
+class RunnersPerBaseline
+    : public ::testing::TestWithParam<baselines::BaselineId> {};
+
+TEST_P(RunnersPerBaseline, SsspMatchesDijkstra) {
+  Csr g = small_rmat();
+  RunConfig cfg;
+  cfg.baseline = GetParam();
+  cfg.sssp_source = 0;
+  const RunOutput out = run_algorithm(Algorithm::SSSP, g, cfg);
+  const auto exact = sssp_dijkstra(g, 0);
+  ASSERT_EQ(out.attr.size(), g.num_slots());
+  for (NodeId v = 0; v < g.num_slots(); ++v) {
+    if (exact[v] == kInfWeight) {
+      EXPECT_TRUE(std::isinf(out.attr[v])) << v;
+    } else {
+      // The runner's relaxation tolerance is confluence_epsilon-relative.
+      EXPECT_NEAR(out.attr[v], exact[v],
+                  0.01 * (1.0 + exact[v]))
+          << v;
+    }
+  }
+  EXPECT_GT(out.sim_seconds, 0.0);
+  EXPECT_GT(out.iterations, 0u);
+}
+
+TEST_P(RunnersPerBaseline, PagerankMatchesHostReference) {
+  Csr g = small_rmat();
+  RunConfig cfg;
+  cfg.baseline = GetParam();
+  cfg.pr_tolerance = 1e-9;
+  cfg.pr_max_iterations = 100;
+  const RunOutput out = run_algorithm(Algorithm::PR, g, cfg);
+  PagerankParams params;
+  params.tolerance = 1e-9;
+  params.max_iterations = 100;
+  const auto exact = pagerank(g, params);
+  for (NodeId v = 0; v < g.num_slots(); ++v) {
+    EXPECT_NEAR(out.attr[v], exact.rank[v], 1e-5) << v;
+  }
+}
+
+TEST_P(RunnersPerBaseline, BcMatchesBrandesOnSampledSources) {
+  Csr g = small_rmat(8);
+  const auto sources = sample_bc_sources(g, 4, 7);
+  RunConfig cfg;
+  cfg.baseline = GetParam();
+  cfg.bc_sources = sources;
+  const RunOutput out = run_algorithm(Algorithm::BC, g, cfg);
+  const auto exact = betweenness_centrality(g, sources);
+  for (NodeId v = 0; v < g.num_slots(); ++v) {
+    EXPECT_NEAR(out.attr[v], exact[v], 1e-6 * (1.0 + std::abs(exact[v])))
+        << v;
+  }
+}
+
+TEST_P(RunnersPerBaseline, SccMatchesTarjan) {
+  Csr g = small_rmat(8);
+  RunConfig cfg;
+  cfg.baseline = GetParam();
+  const RunOutput out = run_algorithm(Algorithm::SCC, g, cfg);
+  const auto exact = scc_tarjan(g);
+  EXPECT_DOUBLE_EQ(out.scalar, static_cast<double>(exact.count));
+}
+
+TEST_P(RunnersPerBaseline, MstMatchesKruskal) {
+  Csr g = small_rmat(8);
+  RunConfig cfg;
+  cfg.baseline = GetParam();
+  const RunOutput out = run_algorithm(Algorithm::MST, g, cfg);
+  const auto exact = mst_kruskal(g);
+  EXPECT_NEAR(out.scalar, exact.total_weight,
+              1e-4 * std::max(1.0, exact.total_weight));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBaselines, RunnersPerBaseline,
+                         ::testing::Values(baselines::BaselineId::TopologyDriven,
+                                           baselines::BaselineId::TigrLike,
+                                           baselines::BaselineId::GunrockLike));
+
+TEST(Runners, SsspOnRoadGrid) {
+  RoadGridParams p;
+  p.width = 16;
+  p.height = 16;
+  Csr g = generate_road_grid(p);
+  RunConfig cfg;
+  cfg.baseline = baselines::BaselineId::GunrockLike;
+  const RunOutput out = run_algorithm(Algorithm::SSSP, g, cfg);
+  const auto exact = sssp_dijkstra(g, 0);
+  for (NodeId v = 0; v < g.num_slots(); ++v) {
+    if (exact[v] != kInfWeight) {
+      EXPECT_NEAR(out.attr[v], exact[v],
+                  0.01 * (1.0 + exact[v]))
+          << v;
+    }
+  }
+}
+
+TEST(Runners, WarpOrderDoesNotChangeResults) {
+  Csr g = small_rmat();
+  const auto div = transform::divergence_transform(
+      g, transform::DivergenceKnobs{.degree_sim_threshold = 0.0});
+  // threshold 0: graph unchanged, only the order permutes.
+  ASSERT_EQ(div.edges_added, 0u);
+  RunConfig plain;
+  plain.sssp_source = 0;
+  RunConfig ordered = plain;
+  ordered.warp_order = div.warp_order;
+  const auto a = run_algorithm(Algorithm::SSSP, g, plain);
+  const auto b = run_algorithm(Algorithm::SSSP, g, ordered);
+  for (NodeId v = 0; v < g.num_slots(); ++v) {
+    EXPECT_EQ(a.attr[v], b.attr[v]);
+  }
+}
+
+TEST(Runners, BucketedOrderImprovesSimdEfficiency) {
+  Csr g = small_rmat(11);
+  const auto div = transform::divergence_transform(
+      g, transform::DivergenceKnobs{.degree_sim_threshold = 0.0});
+  RunConfig plain;
+  RunConfig ordered = plain;
+  ordered.warp_order = div.warp_order;
+  const auto a = run_algorithm(Algorithm::PR, g, plain);
+  const auto b = run_algorithm(Algorithm::PR, g, ordered);
+  EXPECT_GT(b.stats.simd_efficiency(), a.stats.simd_efficiency());
+}
+
+TEST(Runners, ReplicasStayMergedInSssp) {
+  Csr g = small_rmat(9);
+  transform::CoalescingKnobs knobs;
+  knobs.connectedness_threshold = 0.3;
+  const auto coal = transform::coalescing_transform(g, knobs);
+  if (coal.replicas.empty()) GTEST_SKIP() << "no replicas at this scale";
+  RunConfig cfg;
+  cfg.replicas = &coal.replicas;
+  cfg.sssp_source = coal.renumber.slot_of_node[0];
+  const auto out = run_algorithm(Algorithm::SSSP, coal.graph, cfg);
+  // Confluence ran after the final iteration: all group members agree.
+  for (const auto& group : coal.replicas.groups) {
+    for (std::size_t i = 1; i < group.size(); ++i) {
+      if (std::isfinite(out.attr[group[0]])) {
+        EXPECT_DOUBLE_EQ(out.attr[group[i]], out.attr[group[0]]);
+      }
+    }
+  }
+}
+
+TEST(Runners, ClustersImproveSharedFraction) {
+  Csr g = small_rmat(10);
+  transform::LatencyKnobs knobs;
+  knobs.cc_threshold = 0.2;
+  knobs.near_delta = 0.2;
+  knobs.edge_budget_fraction = 0.05;
+  const auto lat = transform::latency_transform(g, knobs);
+  if (lat.schedule.empty()) GTEST_SKIP() << "no clusters formed";
+  RunConfig plain;
+  const auto without = run_algorithm(Algorithm::PR, lat.graph, plain);
+  RunConfig clustered = plain;
+  clustered.clusters = &lat.schedule;
+  const auto with = run_algorithm(Algorithm::PR, lat.graph, clustered);
+  EXPECT_GT(with.stats.shared_accesses, 0u);
+  EXPECT_EQ(without.stats.shared_accesses, 0u);
+}
+
+TEST(Runners, TigrHasBetterCoalescingThanTopology) {
+  Csr g = small_rmat(11);
+  RunConfig topo;
+  topo.baseline = baselines::BaselineId::TopologyDriven;
+  RunConfig tigr;
+  tigr.baseline = baselines::BaselineId::TigrLike;
+  const auto a = run_algorithm(Algorithm::PR, g, topo);
+  const auto b = run_algorithm(Algorithm::PR, g, tigr);
+  // Tigr's edge-array coalescing: far fewer edge transactions per sweep.
+  const double a_edge_per_sweep =
+      static_cast<double>(a.stats.edge_transactions) / a.stats.sweeps;
+  const double b_edge_per_sweep =
+      static_cast<double>(b.stats.edge_transactions) / b.stats.sweeps;
+  EXPECT_LT(b_edge_per_sweep, a_edge_per_sweep);
+}
+
+TEST(Runners, DeferredConfluenceDoesNotStall) {
+  // Regression: when replication moves every outgoing edge of a region
+  // onto replicas, SSSP with a deferred merge cadence must force a merge
+  // instead of declaring a bogus fixpoint after one iteration.
+  Csr g = small_rmat(10);
+  transform::CoalescingKnobs knobs;
+  knobs.connectedness_threshold = 0.3;
+  const auto coal = transform::coalescing_transform(g, knobs);
+  if (coal.replicas.empty()) GTEST_SKIP() << "no replicas at this scale";
+  RunConfig every;
+  every.replicas = &coal.replicas;
+  every.sssp_source = coal.renumber.slot_of_node[0];
+  RunConfig deferred = every;
+  deferred.confluence_every = 8;
+  const auto a = run_algorithm(Algorithm::SSSP, coal.graph, every);
+  const auto b = run_algorithm(Algorithm::SSSP, coal.graph, deferred);
+  EXPECT_GT(b.iterations, 1u);
+  // Same reachability; distances agree loosely (cadence is approximate).
+  std::size_t reached_a = 0, reached_b = 0;
+  for (NodeId s = 0; s < coal.graph.num_slots(); ++s) {
+    reached_a += std::isfinite(a.attr[s]);
+    reached_b += std::isfinite(b.attr[s]);
+  }
+  EXPECT_EQ(reached_a, reached_b);
+}
+
+TEST(Runners, PullPagerankMatchesPush) {
+  Csr g = small_rmat();
+  RunConfig push;
+  push.pr_tolerance = 1e-10;
+  push.pr_max_iterations = 200;
+  RunConfig pull = push;
+  pull.pr_pull = true;
+  const auto a = run_algorithm(Algorithm::PR, g, push);
+  const auto b = run_algorithm(Algorithm::PR, g, pull);
+  for (NodeId v = 0; v < g.num_slots(); ++v) {
+    EXPECT_NEAR(a.attr[v], b.attr[v], 1e-8) << v;
+  }
+  // Pull mode issues no atomic commits.
+  EXPECT_EQ(b.stats.atomic_commits, 0u);
+  EXPECT_GT(a.stats.atomic_commits, 0u);
+}
+
+TEST(Runners, PullPagerankWorksWithClusters) {
+  Csr g = small_rmat(10);
+  transform::LatencyKnobs knobs;
+  knobs.cc_threshold = 0.2;
+  knobs.near_delta = 0.2;
+  const auto lat = transform::latency_transform(g, knobs);
+  if (lat.schedule.empty()) GTEST_SKIP() << "no clusters formed";
+  RunConfig rc;
+  rc.pr_pull = true;
+  rc.clusters = &lat.schedule;
+  const auto out = run_algorithm(Algorithm::PR, lat.graph, rc);
+  EXPECT_GT(out.stats.shared_accesses, 0u);
+  double total = 0;
+  for (double r : out.attr) total += r;
+  EXPECT_NEAR(total, 1.0, 0.05);
+}
+
+TEST(Runners, TraceRecordsEveryIteration) {
+  Csr g = small_rmat(9);
+  RunConfig cfg;
+  cfg.collect_trace = true;
+  for (Algorithm alg : all_algorithms()) {
+    const auto out = run_algorithm(alg, g, cfg);
+    ASSERT_EQ(out.trace.size(), out.iterations) << algorithm_name(alg);
+    // Cumulative stats are monotone across the trace.
+    for (std::size_t i = 1; i < out.trace.size(); ++i) {
+      EXPECT_GE(out.trace[i].stats.warp_steps,
+                out.trace[i - 1].stats.warp_steps);
+      EXPECT_GE(out.trace[i].stats.attr_transactions,
+                out.trace[i - 1].stats.attr_transactions);
+    }
+    // The last point matches the final stats.
+    if (!out.trace.empty()) {
+      EXPECT_LE(out.trace.back().stats.warp_steps, out.stats.warp_steps);
+    }
+  }
+}
+
+TEST(Runners, TraceOffByDefault) {
+  Csr g = small_rmat(8);
+  const auto out = run_algorithm(Algorithm::PR, g, {});
+  EXPECT_TRUE(out.trace.empty());
+}
+
+TEST(Runners, AlgorithmNamesAndOrder) {
+  EXPECT_STREQ(algorithm_name(Algorithm::SSSP), "SSSP");
+  EXPECT_STREQ(algorithm_name(Algorithm::BC), "BC");
+  const auto all = all_algorithms();
+  ASSERT_EQ(all.size(), 5u);
+  EXPECT_EQ(all[0], Algorithm::SSSP);
+  EXPECT_EQ(all[4], Algorithm::BC);
+}
+
+TEST(Runners, EmptySourceBcSamplesDeterministically) {
+  Csr g = small_rmat(8);
+  RunConfig cfg;
+  cfg.bc_sample_count = 3;
+  cfg.seed = 11;
+  const auto a = run_algorithm(Algorithm::BC, g, cfg);
+  const auto b = run_algorithm(Algorithm::BC, g, cfg);
+  EXPECT_EQ(a.attr, b.attr);
+}
+
+}  // namespace
+}  // namespace graffix::core

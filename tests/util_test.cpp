@@ -1,0 +1,212 @@
+// Unit tests for the util substrate: RNG determinism and distribution,
+// prefix sums (serial vs parallel equivalence), atomic bitset semantics,
+// and the parallel_for helpers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "util/bitset.hpp"
+#include "util/parallel.hpp"
+#include "util/prefix_sum.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace graffix {
+namespace {
+
+TEST(SplitMix64, DeterministicSequence) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Pcg32, DeterministicAcrossInstances) {
+  Pcg32 a(7, 3), b(7, 3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u32(), b.next_u32());
+  }
+}
+
+TEST(Pcg32, BoundedStaysInRange) {
+  Pcg32 rng(123);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_bounded(17), 17u);
+  }
+}
+
+TEST(Pcg32, BoundedZeroAndOne) {
+  Pcg32 rng(5);
+  EXPECT_EQ(rng.next_bounded(0), 0u);
+  EXPECT_EQ(rng.next_bounded(1), 0u);
+}
+
+TEST(Pcg32, DoubleInUnitInterval) {
+  Pcg32 rng(99);
+  double min = 1.0, max = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.next_double();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    min = std::min(min, x);
+    max = std::max(max, x);
+  }
+  EXPECT_LT(min, 0.05);
+  EXPECT_GT(max, 0.95);
+}
+
+TEST(Pcg32, FloatInUnitInterval) {
+  Pcg32 rng(77);
+  for (int i = 0; i < 10000; ++i) {
+    const float x = rng.next_float();
+    ASSERT_GE(x, 0.0f);
+    ASSERT_LT(x, 1.0f);
+  }
+}
+
+TEST(Pcg32, BoundedIsRoughlyUniform) {
+  Pcg32 rng(2024);
+  constexpr std::uint32_t kBuckets = 8;
+  std::vector<int> counts(kBuckets, 0);
+  constexpr int kDraws = 80000;
+  for (int i = 0; i < kDraws; ++i) counts[rng.next_bounded(kBuckets)]++;
+  for (std::uint32_t b = 0; b < kBuckets; ++b) {
+    EXPECT_NEAR(counts[b], kDraws / kBuckets, kDraws / kBuckets * 0.1);
+  }
+}
+
+TEST(MakeStream, IndependentStreams) {
+  Pcg32 a = make_stream(42, 0);
+  Pcg32 b = make_stream(42, 1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u32() == b.next_u32()) ++same;
+  }
+  EXPECT_LE(same, 1);
+}
+
+TEST(MakeStream, Reproducible) {
+  Pcg32 a = make_stream(7, 5);
+  Pcg32 b = make_stream(7, 5);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(ExclusiveScan, InPlaceSmall) {
+  std::vector<int> v{3, 1, 4, 1, 5};
+  const int total = exclusive_scan_inplace(std::span<int>(v));
+  EXPECT_EQ(total, 14);
+  EXPECT_EQ(v, (std::vector<int>{0, 3, 4, 8, 9}));
+}
+
+TEST(ExclusiveScan, OutOfPlaceWithTotalSlot) {
+  std::vector<int> in{2, 2, 2};
+  std::vector<int> out(4, -1);
+  const int total = exclusive_scan<int>(in, out);
+  EXPECT_EQ(total, 6);
+  EXPECT_EQ(out, (std::vector<int>{0, 2, 4, 6}));
+}
+
+TEST(ExclusiveScan, EmptyInput) {
+  std::vector<int> v;
+  EXPECT_EQ(exclusive_scan_inplace(std::span<int>(v)), 0);
+}
+
+TEST(ParallelScan, MatchesSerialOnLargeInput) {
+  constexpr std::size_t n = 1 << 16;
+  std::vector<std::uint64_t> a(n), b(n);
+  Pcg32 rng(9);
+  for (std::size_t i = 0; i < n; ++i) a[i] = b[i] = rng.next_bounded(100);
+  const auto t1 = exclusive_scan_inplace(std::span<std::uint64_t>(a));
+  const auto t2 = parallel_exclusive_scan_inplace(std::span<std::uint64_t>(b));
+  EXPECT_EQ(t1, t2);
+  EXPECT_EQ(a, b);
+}
+
+TEST(AtomicBitset, SetReturnsTrueOnce) {
+  AtomicBitset bits(100);
+  EXPECT_TRUE(bits.set(7));
+  EXPECT_FALSE(bits.set(7));
+  EXPECT_TRUE(bits.test(7));
+  EXPECT_FALSE(bits.test(8));
+}
+
+TEST(AtomicBitset, CountAndClear) {
+  AtomicBitset bits(200);
+  for (std::size_t i = 0; i < 200; i += 3) bits.set(i);
+  EXPECT_EQ(bits.count(), 67u);
+  bits.clear();
+  EXPECT_EQ(bits.count(), 0u);
+}
+
+TEST(AtomicBitset, ConcurrentSetsCountEachBitOnce) {
+  AtomicBitset bits(1 << 12);
+  std::atomic<int> first_sets{0};
+  parallel_for(0, 1 << 14, [&](int i) {
+    if (bits.set(static_cast<std::size_t>(i) % (1 << 12))) {
+      first_sets.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  EXPECT_EQ(first_sets.load(), 1 << 12);
+  EXPECT_EQ(bits.count(), static_cast<std::size_t>(1 << 12));
+}
+
+TEST(ParallelFor, CoversRangeExactlyOnce) {
+  constexpr int n = 10000;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for(0, n, [&](int i) { hits[i].fetch_add(1); });
+  for (int i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  bool called = false;
+  parallel_for(5, 5, [&](int) { called = true; });
+  parallel_for(5, 3, [&](int) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelReduce, SumMatchesSerial) {
+  constexpr int n = 5000;
+  const double sum = parallel_reduce_sum(0, n, [](int i) { return double(i); });
+  EXPECT_DOUBLE_EQ(sum, n * (n - 1) / 2.0);
+}
+
+TEST(ParallelReduce, MaxFindsMaximum) {
+  std::vector<int> v(1000);
+  Pcg32 rng(3);
+  for (auto& x : v) x = static_cast<int>(rng.next_bounded(1000000));
+  v[531] = 2000000;
+  const int got =
+      parallel_reduce_max(std::size_t{0}, v.size(), [&](std::size_t i) { return v[i]; });
+  EXPECT_EQ(got, 2000000);
+}
+
+TEST(WallTimer, MeasuresElapsedTime) {
+  WallTimer timer;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  EXPECT_GE(timer.seconds(), 0.0);
+  EXPECT_LT(timer.seconds(), 10.0);
+}
+
+TEST(ScopedAccumulator, AddsOnDestruction) {
+  double total = 0.0;
+  {
+    ScopedAccumulator acc(total);
+  }
+  EXPECT_GE(total, 0.0);
+}
+
+}  // namespace
+}  // namespace graffix

@@ -1,0 +1,436 @@
+#include "cli_commands.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+#include "algorithms/bc.hpp"
+#include "core/graffix.hpp"
+
+namespace graffix::cli {
+
+namespace {
+
+[[noreturn]] void die(const std::string& message) {
+  std::fprintf(stderr, "graffix: %s\n", message.c_str());
+  std::exit(2);
+}
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+/// Technique application from CLI flags; shared by transform and run.
+void apply_from_args(Pipeline& pipeline, Technique technique,
+                     const Args& args) {
+  switch (technique) {
+    case Technique::None:
+      break;
+    case Technique::Coalescing: {
+      transform::CoalescingKnobs knobs;
+      knobs.chunk_size =
+          static_cast<std::uint32_t>(args.get_int("chunk", 16));
+      knobs.connectedness_threshold = args.get_double("threshold", 0.6);
+      pipeline.apply_coalescing(knobs);
+      break;
+    }
+    case Technique::Latency: {
+      transform::LatencyKnobs knobs;
+      knobs.cc_threshold = args.get_double("threshold", 0.4);
+      knobs.near_delta = args.get_double("near-delta", 0.25);
+      knobs.edge_budget_fraction = args.get_double("budget", 0.05);
+      pipeline.apply_latency(knobs);
+      break;
+    }
+    case Technique::Divergence: {
+      transform::DivergenceKnobs knobs;
+      knobs.degree_sim_threshold = args.get_double("threshold", 0.3);
+      knobs.boost_to = args.get_double("boost-to", 0.85);
+      pipeline.apply_divergence(knobs);
+      break;
+    }
+    case Technique::Combined: {
+      transform::CombinedKnobs knobs;
+      knobs.coalescing = transform::CoalescingKnobs{
+          .connectedness_threshold = args.get_double("threshold", 0.6)};
+      knobs.latency = transform::LatencyKnobs{
+          .cc_threshold = args.get_double("cc-threshold", 0.4)};
+      knobs.divergence = transform::DivergenceKnobs{
+          .degree_sim_threshold = args.get_double("degreesim", 0.3)};
+      pipeline.apply_combined(knobs);
+      break;
+    }
+  }
+}
+
+GraphPreset parse_preset(const std::string& name) {
+  for (GraphPreset preset : all_presets()) {
+    if (name == preset_name(preset)) return preset;
+  }
+  die("unknown preset '" + name +
+      "' (expected rmat26, random26, LiveJournal, USA-road or twitter)");
+}
+
+}  // namespace
+
+const std::string* Args::find(const std::string& key) const {
+  for (const auto& [k, v] : options) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::string Args::get(const std::string& key,
+                      const std::string& fallback) const {
+  const std::string* value = find(key);
+  return value != nullptr ? *value : fallback;
+}
+
+double Args::get_double(const std::string& key, double fallback) const {
+  const std::string* value = find(key);
+  return value != nullptr ? std::atof(value->c_str()) : fallback;
+}
+
+long Args::get_int(const std::string& key, long fallback) const {
+  const std::string* value = find(key);
+  return value != nullptr ? std::atol(value->c_str()) : fallback;
+}
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  if (argc < 2) {
+    args.command = "help";
+    return args;
+  }
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) == 0) {
+      std::string key = token.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        args.options.emplace_back(std::move(key), argv[++i]);
+      } else {
+        args.options.emplace_back(std::move(key), "true");
+      }
+    } else if (token == "-o" && i + 1 < argc) {
+      args.options.emplace_back("output", argv[++i]);
+    } else {
+      args.positional.push_back(std::move(token));
+    }
+  }
+  return args;
+}
+
+Csr load_graph(const Args& args, const std::string& path) {
+  for (GraphPreset preset : all_presets()) {
+    if (path == preset_name(preset)) {
+      return make_preset(preset,
+                         static_cast<std::uint32_t>(args.get_int("scale", 12)),
+                         static_cast<std::uint64_t>(args.get_int("seed", 42)));
+    }
+  }
+  try {
+    if (ends_with(path, ".bin")) return read_binary(path);
+    if (ends_with(path, ".gr")) return read_dimacs(path);
+    if (ends_with(path, ".mtx")) return read_matrix_market(path);
+    return read_edge_list(path, /*weighted=*/true);
+  } catch (const std::exception& e) {
+    die(e.what());
+  }
+}
+
+Technique parse_technique(const std::string& name) {
+  if (name == "none") return Technique::None;
+  if (name == "coalescing") return Technique::Coalescing;
+  if (name == "latency") return Technique::Latency;
+  if (name == "divergence") return Technique::Divergence;
+  if (name == "combined") return Technique::Combined;
+  die("unknown technique '" + name +
+      "' (expected none, coalescing, latency, divergence or combined)");
+}
+
+core::Algorithm parse_algorithm(const std::string& name) {
+  for (core::Algorithm alg : core::all_algorithms()) {
+    std::string lower = core::algorithm_name(alg);
+    for (char& c : lower) c = static_cast<char>(std::tolower(c));
+    if (name == lower) return alg;
+  }
+  die("unknown algorithm '" + name + "' (expected sssp, mst, scc, pr or bc)");
+}
+
+int cmd_generate(const Args& args) {
+  if (args.positional.empty()) die("usage: graffix generate <preset> -o file");
+  const GraphPreset preset = parse_preset(args.positional[0]);
+  const auto scale = static_cast<std::uint32_t>(args.get_int("scale", 12));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  const Csr graph = make_preset(preset, scale, seed);
+  const std::string output = args.get("output", "");
+  if (output.empty()) die("missing -o <file>");
+  if (ends_with(output, ".bin")) {
+    write_binary(graph, output);
+  } else if (ends_with(output, ".mtx")) {
+    write_matrix_market(graph, output);
+  } else {
+    write_edge_list(graph, output);
+  }
+  std::printf("wrote %s: %u nodes, %llu edges\n", output.c_str(),
+              graph.num_nodes(),
+              static_cast<unsigned long long>(graph.num_edges()));
+  return 0;
+}
+
+int cmd_stats(const Args& args) {
+  if (args.positional.empty()) die("usage: graffix stats <graph>");
+  const Csr graph = load_graph(args, args.positional[0]);
+  const DegreeStats degrees = degree_stats(graph);
+  const auto cc = clustering_coefficients(graph);
+  metrics::Table table({"Property", "Value"});
+  table.add_row({"slots", std::to_string(graph.num_slots())});
+  table.add_row({"nodes", std::to_string(graph.num_nodes())});
+  table.add_row({"edges", std::to_string(graph.num_edges())});
+  table.add_row({"weighted", graph.has_weights() ? "yes" : "no"});
+  table.add_row({"holes", std::to_string(graph.num_slots() - graph.num_nodes())});
+  table.add_row({"max degree", std::to_string(degrees.max)});
+  table.add_row({"mean degree", metrics::Table::num(degrees.mean, 2)});
+  table.add_row({"degree stddev", metrics::Table::num(degrees.stddev, 2)});
+  table.add_row({"pseudo-diameter", std::to_string(pseudo_diameter(graph))});
+  table.add_row({"avg clustering coeff",
+                 metrics::Table::num(
+                     average_clustering_coefficient(cc, graph), 4)});
+  table.add_row({"weakly conn. components",
+                 std::to_string(weakly_connected_components(graph))});
+  const auto report = validate_graph(graph);
+  table.add_row({"valid", report.ok ? "yes" : report.message});
+  table.print();
+
+  // Degree histogram: the quickest skew diagnostic.
+  const auto hist = degree_histogram(graph);
+  metrics::Table hist_table({"Degree range", "Nodes"});
+  for (std::size_t bucket = 0; bucket < hist.size(); ++bucket) {
+    if (hist[bucket] == 0) continue;
+    std::string range =
+        bucket == 0 ? "0"
+                    : std::to_string(1u << (bucket - 1)) + ".." +
+                          std::to_string((1u << bucket) - 1);
+    hist_table.add_row({std::move(range), std::to_string(hist[bucket])});
+  }
+  hist_table.print();
+  return report.ok ? 0 : 1;
+}
+
+int cmd_transform(const Args& args) {
+  if (args.positional.empty()) {
+    die("usage: graffix transform <graph> --technique T [knobs] -o file");
+  }
+  Csr graph = load_graph(args, args.positional[0]);
+  const Technique technique =
+      parse_technique(args.get("technique", "coalescing"));
+  Pipeline pipeline(std::move(graph));
+  apply_from_args(pipeline, technique, args);
+  std::printf("%s: %llu edges added, +%.1f%% space, %.3fs\n",
+              technique_name(technique),
+              static_cast<unsigned long long>(pipeline.edges_added()),
+              100.0 * pipeline.extra_space_fraction(),
+              pipeline.preprocessing_seconds());
+  const std::string output = args.get("output", "");
+  if (!output.empty()) {
+    write_binary(pipeline.current(), output);
+    std::printf("wrote %s (%u slots, %llu edges)\n", output.c_str(),
+                pipeline.current().num_slots(),
+                static_cast<unsigned long long>(pipeline.current().num_edges()));
+    if (technique == Technique::Coalescing || technique == Technique::Combined) {
+      std::printf("note: the file stores graph structure only; replica "
+                  "groups (needed for confluence) are not persisted — use "
+                  "'graffix run --technique %s' to execute with them.\n",
+                  technique_name(technique));
+    }
+  }
+  return 0;
+}
+
+int cmd_run(const Args& args) {
+  if (args.positional.empty()) {
+    die("usage: graffix run <graph> --algorithm A [--technique T]");
+  }
+  Csr graph = load_graph(args, args.positional[0]);
+  const core::Algorithm algorithm =
+      parse_algorithm(args.get("algorithm", "pr"));
+  const Technique technique = parse_technique(args.get("technique", "none"));
+
+  Pipeline pipeline(std::move(graph));
+  apply_from_args(pipeline, technique, args);
+
+  // Deterministic sources shared by both runs.
+  NodeId source = 0, best_degree = 0;
+  for (NodeId v = 0; v < pipeline.original().num_slots(); ++v) {
+    if (pipeline.original().degree(v) > best_degree) {
+      best_degree = pipeline.original().degree(v);
+      source = v;
+    }
+  }
+  const auto bc_nodes = sample_bc_sources(
+      pipeline.original(),
+      static_cast<std::size_t>(args.get_int("bc-sources", 4)),
+      static_cast<std::uint64_t>(args.get_int("seed", 42)));
+  std::vector<NodeId> bc_slots(bc_nodes.size());
+  for (std::size_t i = 0; i < bc_nodes.size(); ++i) {
+    bc_slots[i] = pipeline.slot_of_node(bc_nodes[i]);
+  }
+
+  const std::string trace_path = args.get("trace", "");
+
+  core::RunConfig exact_rc;
+  exact_rc.sssp_source = source;
+  exact_rc.bc_sources = bc_nodes;
+  exact_rc.collect_trace = !trace_path.empty();
+  const auto exact = pipeline.run_exact(algorithm, exact_rc);
+  std::printf("exact : %.6f simulated s, %u iterations\n", exact.sim_seconds,
+              exact.iterations);
+  if (technique == Technique::None) return 0;
+
+  core::RunConfig approx_rc;
+  approx_rc.sssp_source = pipeline.slot_of_node(source);
+  approx_rc.bc_sources = bc_slots;
+  approx_rc.collect_trace = !trace_path.empty();
+  const auto approx = pipeline.run(algorithm, approx_rc);
+  if (!trace_path.empty()) {
+    std::FILE* trace = std::fopen(trace_path.c_str(), "w");
+    if (trace == nullptr) die("cannot open trace file " + trace_path);
+    std::fprintf(trace,
+                 "run,iteration,attr_tx,edge_tx,shared,simd_efficiency,"
+                 "coalescing_efficiency\n");
+    auto dump = [&](const char* tag, const core::RunOutput& out) {
+      for (const auto& point : out.trace) {
+        std::fprintf(trace, "%s,%u,%llu,%llu,%llu,%.4f,%.4f\n", tag,
+                     point.iteration,
+                     static_cast<unsigned long long>(
+                         point.stats.attr_transactions),
+                     static_cast<unsigned long long>(
+                         point.stats.edge_transactions),
+                     static_cast<unsigned long long>(
+                         point.stats.shared_accesses),
+                     point.stats.simd_efficiency(),
+                     point.stats.coalescing_efficiency());
+      }
+    };
+    dump("exact", exact);
+    dump("approx", approx);
+    std::fclose(trace);
+    std::printf("trace: %s (%zu + %zu points)\n", trace_path.c_str(),
+                exact.trace.size(), approx.trace.size());
+  }
+  std::printf("approx: %.6f simulated s, %u iterations\n", approx.sim_seconds,
+              approx.iterations);
+  std::printf("speedup: %.2fx\n",
+              metrics::speedup(exact.sim_seconds, approx.sim_seconds));
+  double inaccuracy = 0.0;
+  switch (algorithm) {
+    case core::Algorithm::SSSP:
+    case core::Algorithm::PR:
+    case core::Algorithm::BC:
+      inaccuracy = metrics::attribute_error(exact.attr,
+                                            pipeline.project(approx.attr))
+                       .inaccuracy_pct;
+      break;
+    case core::Algorithm::SCC:
+    case core::Algorithm::MST:
+      inaccuracy = metrics::scalar_inaccuracy_pct(exact.scalar, approx.scalar);
+      break;
+  }
+  std::printf("inaccuracy: %.2f%%\n", inaccuracy);
+  return 0;
+}
+
+int cmd_compare(const Args& args) {
+  if (args.positional.empty()) {
+    die("usage: graffix compare <graph> [--algorithm A]");
+  }
+  Csr graph = load_graph(args, args.positional[0]);
+  const core::Algorithm algorithm =
+      parse_algorithm(args.get("algorithm", "pr"));
+
+  Pipeline pipeline(std::move(graph));
+  NodeId source = 0, best_degree = 0;
+  for (NodeId v = 0; v < pipeline.original().num_slots(); ++v) {
+    if (pipeline.original().degree(v) > best_degree) {
+      best_degree = pipeline.original().degree(v);
+      source = v;
+    }
+  }
+  const auto bc_nodes = sample_bc_sources(
+      pipeline.original(),
+      static_cast<std::size_t>(args.get_int("bc-sources", 4)),
+      static_cast<std::uint64_t>(args.get_int("seed", 42)));
+
+  core::RunConfig exact_rc;
+  exact_rc.sssp_source = source;
+  exact_rc.bc_sources = bc_nodes;
+  const auto exact = pipeline.run_exact(algorithm, exact_rc);
+
+  metrics::Table table(
+      {"Technique", "Speedup", "Inaccuracy", "Preprocess (s)"});
+  const Technique techniques[] = {Technique::Coalescing, Technique::Latency,
+                                  Technique::Divergence, Technique::Combined};
+  for (Technique technique : techniques) {
+    apply_from_args(pipeline, technique, args);
+    std::vector<NodeId> bc_slots(bc_nodes.size());
+    for (std::size_t i = 0; i < bc_nodes.size(); ++i) {
+      bc_slots[i] = pipeline.slot_of_node(bc_nodes[i]);
+    }
+    core::RunConfig rc;
+    rc.sssp_source = pipeline.slot_of_node(source);
+    rc.bc_sources = bc_slots;
+    const auto approx = pipeline.run(algorithm, rc);
+    double inaccuracy = 0.0;
+    switch (algorithm) {
+      case core::Algorithm::SSSP:
+      case core::Algorithm::PR:
+      case core::Algorithm::BC:
+        inaccuracy = metrics::attribute_error(exact.attr,
+                                              pipeline.project(approx.attr))
+                         .inaccuracy_pct;
+        break;
+      case core::Algorithm::SCC:
+      case core::Algorithm::MST:
+        inaccuracy =
+            metrics::scalar_inaccuracy_pct(exact.scalar, approx.scalar);
+        break;
+    }
+    table.add_row({technique_name(technique),
+                   metrics::Table::speedup(metrics::speedup(
+                       exact.sim_seconds, approx.sim_seconds)),
+                   metrics::Table::pct(inaccuracy, 1),
+                   metrics::Table::num(pipeline.preprocessing_seconds(), 4)});
+  }
+  std::printf("exact %s: %.6f simulated s\n",
+              core::algorithm_name(algorithm), exact.sim_seconds);
+  table.print();
+  return 0;
+}
+
+int cmd_help(const Args&) {
+  std::puts(
+      "graffix — approximate GPU graph-processing transforms (ICPP'20)\n"
+      "\n"
+      "usage: graffix <command> [args]\n"
+      "\n"
+      "commands:\n"
+      "  generate <preset> --scale N [--seed S] -o out.{bin,txt}\n"
+      "  stats     <graph|preset>  structural properties + validation\n"
+      "  transform <graph|preset> --technique T [--threshold X] -o out.bin\n"
+      "  run       <graph|preset> --algorithm A [--technique T]\n"
+      "  compare   <graph|preset> [--algorithm A]  all techniques at once\n"
+      "            [--trace out.csv]  per-iteration stats timeline\n"
+      "\n"
+      "graphs: path (.bin graffix binary, .gr DIMACS, .mtx MatrixMarket,\n"
+      "        else edge list)\n"
+      "        or a preset name (rmat26, random26, LiveJournal, USA-road,\n"
+      "        twitter) with --scale\n"
+      "techniques: none coalescing latency divergence combined\n"
+      "algorithms: sssp mst scc pr bc");
+  return 0;
+}
+
+}  // namespace graffix::cli

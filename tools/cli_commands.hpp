@@ -1,0 +1,60 @@
+// The `graffix` command-line tool: generate / inspect / transform / run
+// without writing C++. Each subcommand is a function so the parsing and
+// the behavior can be unit-tested apart from main().
+//
+//   graffix generate --preset rmat26 --scale 12 -o g.bin
+//   graffix stats g.bin
+//   graffix transform g.bin --technique coalescing --threshold 0.6 -o t.bin
+//   graffix run g.bin --algorithm pr --technique latency
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+
+namespace graffix::cli {
+
+/// Parsed common arguments; subcommand-specific flags live in the maps.
+/// Parsing rule: `--key` greedily takes the next token as its value, so
+/// value-less (boolean) flags must appear last on the command line.
+struct Args {
+  std::string command;
+  std::vector<std::string> positional;
+  /// --key value pairs (keys without the leading dashes).
+  std::vector<std::pair<std::string, std::string>> options;
+
+  [[nodiscard]] const std::string* find(const std::string& key) const;
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const;
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+  [[nodiscard]] long get_int(const std::string& key, long fallback) const;
+};
+
+[[nodiscard]] Args parse_args(int argc, char** argv);
+
+/// Loads a graph by file extension: .bin (graffix binary), .gr (DIMACS),
+/// anything else as a whitespace edge list. Preset names
+/// (rmat26/random26/LiveJournal/USA-road/twitter) are also accepted with
+/// --scale.
+[[nodiscard]] Csr load_graph(const Args& args, const std::string& path);
+
+/// Resolves a technique name (none/coalescing/latency/divergence/
+/// combined); exits with a message on an unknown name.
+[[nodiscard]] Technique parse_technique(const std::string& name);
+
+/// Resolves an algorithm name (sssp/mst/scc/pr/bc).
+[[nodiscard]] core::Algorithm parse_algorithm(const std::string& name);
+
+/// Subcommands; each returns a process exit code.
+int cmd_generate(const Args& args);
+int cmd_stats(const Args& args);
+int cmd_transform(const Args& args);
+int cmd_run(const Args& args);
+/// Runs one algorithm under every technique at the paper-default knobs
+/// and prints a comparison table.
+int cmd_compare(const Args& args);
+int cmd_help(const Args& args);
+
+}  // namespace graffix::cli

@@ -1,0 +1,19 @@
+#include <cstring>
+
+#include "cli_commands.hpp"
+
+int main(int argc, char** argv) {
+  using namespace graffix::cli;
+  const Args args = parse_args(argc, argv);
+  if (args.command == "generate") return cmd_generate(args);
+  if (args.command == "stats") return cmd_stats(args);
+  if (args.command == "transform") return cmd_transform(args);
+  if (args.command == "run") return cmd_run(args);
+  if (args.command == "compare") return cmd_compare(args);
+  if (args.command == "help" || args.command == "--help") {
+    return cmd_help(args);
+  }
+  std::fprintf(stderr, "graffix: unknown command '%s' (try 'graffix help')\n",
+               args.command.c_str());
+  return 2;
+}
