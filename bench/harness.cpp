@@ -7,6 +7,7 @@
 
 #include "algorithms/bc.hpp"
 #include "util/logging.hpp"
+#include "util/parallel.hpp"
 
 namespace graffix::bench {
 
@@ -27,6 +28,8 @@ BenchOptions parse_args(int argc, char** argv) {
       options.seed = static_cast<std::uint64_t>(std::atoll(next_value()));
     } else if (std::strcmp(arg, "--bc-sources") == 0) {
       options.bc_sources = static_cast<std::uint32_t>(std::atoi(next_value()));
+    } else if (std::strcmp(arg, "--threads") == 0) {
+      options.threads = static_cast<std::uint32_t>(std::atoi(next_value()));
     } else if (std::strcmp(arg, "--quick") == 0) {
       options.scale = 9;
       options.bc_sources = 2;
@@ -35,14 +38,18 @@ BenchOptions parse_args(int argc, char** argv) {
       set_log_level(LogLevel::Info);
     } else if (std::strcmp(arg, "--help") == 0) {
       std::printf(
-          "usage: %s [--scale N] [--seed S] [--bc-sources K] [--quick] "
-          "[--verbose]\n",
+          "usage: %s [--scale N] [--seed S] [--bc-sources K] [--threads T] "
+          "[--quick] [--verbose]\n",
           argv[0]);
       std::exit(0);
     } else {
       std::fprintf(stderr, "unknown flag: %s (try --help)\n", arg);
       std::exit(2);
     }
+  }
+  // Pin the worker pool up front (like --verbose, a process-wide knob).
+  if (options.threads > 0) {
+    set_num_threads(static_cast<int>(options.threads));
   }
   return options;
 }
@@ -136,6 +143,32 @@ void print_preprocessing_table(const std::string& title,
     table.add_row({row.graph, metrics::Table::num(row.seconds, 4),
                    metrics::Table::pct(row.extra_space_pct, 1),
                    std::to_string(row.edges_added)});
+  }
+  table.print();
+}
+
+void print_preprocessing_scaling_table(
+    const std::string& title, const std::vector<int>& thread_counts,
+    const std::vector<std::vector<core::PreprocessReport>>& runs) {
+  std::printf("\n%s\n", title.c_str());
+  if (runs.empty() || runs.size() != thread_counts.size()) return;
+  std::vector<std::string> headers{"Graph"};
+  for (int t : thread_counts) {
+    headers.push_back("T=" + std::to_string(t) + " (s)");
+  }
+  headers.push_back("Speedup");
+  metrics::Table table(std::move(headers));
+  const std::size_t n_graphs = runs.front().size();
+  for (std::size_t g = 0; g < n_graphs; ++g) {
+    std::vector<std::string> cells{runs.front()[g].graph};
+    for (const auto& run : runs) {
+      cells.push_back(g < run.size() ? metrics::Table::num(run[g].seconds, 4)
+                                     : "-");
+    }
+    const double base = runs.front()[g].seconds;
+    const double best = g < runs.back().size() ? runs.back()[g].seconds : 0.0;
+    cells.push_back(best > 0.0 ? metrics::Table::speedup(base / best) : "-");
+    table.add_row(std::move(cells));
   }
   table.print();
 }

@@ -23,6 +23,7 @@ struct BenchOptions {
   std::uint32_t scale = 11;
   std::uint64_t seed = 42;
   std::uint32_t bc_sources = 4;
+  std::uint32_t threads = 0;  // 0 = hardware default
   bool verbose = false;
 };
 
@@ -53,6 +54,15 @@ void print_exact_table(const std::string& title,
 /// Prints a Table 5-style preprocessing table.
 void print_preprocessing_table(const std::string& title,
                                const std::vector<core::PreprocessReport>& rows);
+
+/// Prints preprocessing wall-time scaling across thread counts: one row
+/// per graph, one "T=n (s)" column per entry of `thread_counts`, and a
+/// final speedup column (first count vs last count). `runs[i]` holds the
+/// per-graph reports measured at `thread_counts[i]`; all runs must cover
+/// the same graphs in the same order.
+void print_preprocessing_scaling_table(
+    const std::string& title, const std::vector<int>& thread_counts,
+    const std::vector<std::vector<core::PreprocessReport>>& runs);
 
 /// Prints a Figure 7/8/9-style threshold sweep: one row per threshold with
 /// geomean speedup and inaccuracy columns.

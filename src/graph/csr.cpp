@@ -3,10 +3,19 @@
 #include <algorithm>
 #include <numeric>
 
-#include "graph/builder.hpp"
+#include "graph/rebuild.hpp"
 #include "util/parallel.hpp"
+#include "util/prefix_sum.hpp"
 
 namespace graffix {
+
+namespace {
+
+/// Below this edge count the parallel transpose's per-thread histograms
+/// cost more than they save; fall back to the single-pass serial path.
+constexpr std::size_t kParallelTransposeMinEdges = 1u << 14;
+
+}  // namespace
 
 Csr::Csr(std::vector<EdgeId> offsets, std::vector<NodeId> targets,
          std::vector<Weight> weights, std::vector<std::uint8_t> holes)
@@ -42,49 +51,128 @@ std::size_t Csr::memory_bytes() const {
 
 Csr Csr::transpose() const {
   const NodeId slots = num_slots();
-  std::vector<EdgeId> counts(static_cast<std::size_t>(slots) + 1, 0);
-  for (NodeId t : targets_) counts[static_cast<std::size_t>(t) + 1]++;
-  std::partial_sum(counts.begin(), counts.end(), counts.begin());
-  std::vector<NodeId> rtargets(targets_.size());
-  std::vector<Weight> rweights(weights_.empty() ? 0 : targets_.size());
-  std::vector<EdgeId> cursor(counts.begin(), counts.end() - 1);
-  for (NodeId u = 0; u < slots; ++u) {
-    const EdgeId lo = offsets_[u];
-    const EdgeId hi = offsets_[u + 1];
-    for (EdgeId e = lo; e < hi; ++e) {
-      const NodeId v = targets_[e];
-      const EdgeId pos = cursor[v]++;
-      rtargets[pos] = u;
-      if (!rweights.empty()) rweights[pos] = weights_[e];
+  const std::size_t m = targets_.size();
+  const int threads = num_threads();
+
+  if (threads <= 1 || m < kParallelTransposeMinEdges) {
+    // Serial counting sort: within each reversed row, arcs appear in
+    // increasing source order (and original edge order per source).
+    std::vector<EdgeId> counts(static_cast<std::size_t>(slots) + 1, 0);
+    for (NodeId t : targets_) counts[static_cast<std::size_t>(t) + 1]++;
+    std::partial_sum(counts.begin(), counts.end(), counts.begin());
+    std::vector<NodeId> rtargets(m);
+    std::vector<Weight> rweights(weights_.empty() ? 0 : m);
+    std::vector<EdgeId> cursor(counts.begin(), counts.end() - 1);
+    for (NodeId u = 0; u < slots; ++u) {
+      const EdgeId lo = offsets_[u];
+      const EdgeId hi = offsets_[u + 1];
+      for (EdgeId e = lo; e < hi; ++e) {
+        const NodeId v = targets_[e];
+        const EdgeId pos = cursor[v]++;
+        rtargets[pos] = u;
+        if (!rweights.empty()) rweights[pos] = weights_[e];
+      }
     }
+    return Csr(std::move(counts), std::move(rtargets), std::move(rweights),
+               holes_);
   }
-  return Csr(std::move(counts), std::move(rtargets), std::move(rweights),
+
+  // Parallel counting sort over contiguous source blocks. Per-(block,
+  // target) histograms fix every edge's final position before the
+  // scatter, so the output is bit-identical to the serial path for any
+  // thread count. Work is indexed by block id (not thread id) so the
+  // result does not depend on how OpenMP sizes the team.
+  const auto T = static_cast<std::size_t>(threads);
+  const std::size_t chunk = (static_cast<std::size_t>(slots) + T - 1) / T;
+  const auto block_range = [&](std::size_t b) {
+    const auto lo = static_cast<NodeId>(
+        std::min(b * chunk, static_cast<std::size_t>(slots)));
+    const auto hi = static_cast<NodeId>(
+        std::min(lo + chunk, static_cast<std::size_t>(slots)));
+    return std::pair<NodeId, NodeId>{lo, hi};
+  };
+  std::vector<EdgeId> block_counts(T * slots, 0);
+  std::vector<EdgeId> offsets(static_cast<std::size_t>(slots) + 1, 0);
+  std::vector<NodeId> rtargets(m);
+  std::vector<Weight> rweights(weights_.empty() ? 0 : m);
+
+  parallel_for(std::size_t{0}, T, [&](std::size_t b) {
+    const auto [lo, hi] = block_range(b);
+    EdgeId* counts = block_counts.data() + b * slots;
+    for (NodeId u = lo; u < hi; ++u) {
+      for (EdgeId e = offsets_[u]; e < offsets_[u + 1]; ++e) {
+        counts[targets_[e]]++;
+      }
+    }
+  });
+  parallel_for(NodeId{0}, slots, [&](NodeId v) {
+    EdgeId total = 0;
+    for (std::size_t b = 0; b < T; ++b) {
+      total += block_counts[b * slots + v];
+    }
+    offsets[v] = total;
+  });
+  parallel_exclusive_scan_inplace(std::span<EdgeId>(offsets));
+  // Convert each block's count into its running write base.
+  parallel_for(NodeId{0}, slots, [&](NodeId v) {
+    EdgeId running = offsets[v];
+    for (std::size_t b = 0; b < T; ++b) {
+      const EdgeId c = block_counts[b * slots + v];
+      block_counts[b * slots + v] = running;
+      running += c;
+    }
+  });
+  parallel_for(std::size_t{0}, T, [&](std::size_t b) {
+    const auto [lo, hi] = block_range(b);
+    EdgeId* cursor = block_counts.data() + b * slots;
+    for (NodeId u = lo; u < hi; ++u) {
+      for (EdgeId e = offsets_[u]; e < offsets_[u + 1]; ++e) {
+        const NodeId v = targets_[e];
+        const EdgeId pos = cursor[v]++;
+        rtargets[pos] = u;
+        if (!rweights.empty()) rweights[pos] = weights_[e];
+      }
+    }
+  });
+  return Csr(std::move(offsets), std::move(rtargets), std::move(rweights),
              holes_);
 }
 
 Csr Csr::symmetrized() const {
-  GraphBuilder builder(num_slots());
-  builder.set_weighted(has_weights());
   const NodeId slots = num_slots();
-  for (NodeId u = 0; u < slots; ++u) {
-    const EdgeId lo = offsets_[u];
-    const EdgeId hi = offsets_[u + 1];
-    for (EdgeId e = lo; e < hi; ++e) {
-      const NodeId v = targets_[e];
-      const Weight w = has_weights() ? weights_[e] : Weight{1};
-      builder.add_edge(u, v, w);
-      builder.add_edge(v, u, w);
+  const bool weighted = has_weights();
+  // Row u of the undirected view = out-neighbors of u plus in-neighbors
+  // of u (from the transpose), sorted by (dst, weight) with duplicate
+  // destinations collapsed onto the cheapest arc — the same (src, dst,
+  // weight) order and KeepMinWeight dedup GraphBuilder would produce.
+  const Csr rev = transpose();
+  std::vector<std::vector<ExtraArc>> und(slots);
+  parallel_for_dynamic(NodeId{0}, slots, [&](NodeId u) {
+    auto& list = und[u];
+    const auto out = neighbors(u);
+    const auto in = rev.neighbors(u);
+    list.reserve(out.size() + in.size());
+    const auto out_w = weighted ? edge_weights(u) : std::span<const Weight>{};
+    const auto in_w = weighted ? rev.edge_weights(u) : std::span<const Weight>{};
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      list.push_back({out[i], weighted ? out_w[i] : Weight{1}});
     }
-  }
-  builder.set_dedup(GraphBuilder::Dedup::KeepMinWeight);
-  Csr sym = builder.build();
-  // Re-attach the hole mask: symmetrization never adds edges to holes'
-  // adjacency unless a real node pointed at a hole slot, which validate()
-  // forbids upstream.
-  return Csr(std::vector<EdgeId>(sym.offsets().begin(), sym.offsets().end()),
-             std::vector<NodeId>(sym.targets().begin(), sym.targets().end()),
-             std::vector<Weight>(sym.weights().begin(), sym.weights().end()),
-             holes_);
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      list.push_back({in[i], weighted ? in_w[i] : Weight{1}});
+    }
+    std::sort(list.begin(), list.end(), [](const ExtraArc& a, const ExtraArc& b) {
+      if (a.dst != b.dst) return a.dst < b.dst;
+      return a.w < b.w;
+    });
+    list.erase(std::unique(list.begin(), list.end(),
+                           [](const ExtraArc& a, const ExtraArc& b) {
+                             return a.dst == b.dst;
+                           }),
+               list.end());
+  });
+  // Hole rows have no arcs in either direction (validate() forbids real
+  // nodes pointing at holes upstream), so the mask carries over as-is.
+  return rebuild_from_adjacency(und, weighted, {holes_.begin(), holes_.end()});
 }
 
 }  // namespace graffix

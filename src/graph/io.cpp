@@ -29,18 +29,39 @@ FilePtr open_or_throw(const std::string& path, const char* mode) {
   return f;
 }
 
+/// Reads one full line into `out` (trailing newline stripped), growing
+/// past the fixed fgets buffer. A line longer than the buffer must not be
+/// split — the remainder would re-parse as a bogus extra record.
+/// Returns false at end of file with nothing read.
+bool read_line(std::FILE* f, std::string& out) {
+  out.clear();
+  char buf[512];
+  bool got_any = false;
+  while (std::fgets(buf, sizeof(buf), f)) {
+    got_any = true;
+    out += buf;
+    if (!out.empty() && out.back() == '\n') {
+      out.pop_back();
+      return true;
+    }
+    // No newline yet: the line continues beyond the buffer (or the file
+    // ends without one) — keep reading.
+  }
+  return got_any;
+}
+
 }  // namespace
 
 Csr read_edge_list(const std::string& path, bool weighted, NodeId min_nodes) {
   FilePtr f = open_or_throw(path, "r");
   std::vector<EdgeTriple> edges;
   NodeId max_id = 0;
-  char line[512];
-  while (std::fgets(line, sizeof(line), f.get())) {
-    if (line[0] == '#' || line[0] == '%' || line[0] == '\n') continue;
+  std::string line;
+  while (read_line(f.get(), line)) {
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
     unsigned long long u = 0, v = 0;
     double w = 1.0;
-    const int got = std::sscanf(line, "%llu %llu %lf", &u, &v, &w);
+    const int got = std::sscanf(line.c_str(), "%llu %llu %lf", &u, &v, &w);
     if (got < 2) continue;
     edges.push_back({static_cast<NodeId>(u), static_cast<NodeId>(v),
                      static_cast<Weight>(w)});
@@ -72,14 +93,14 @@ void write_edge_list(const Csr& graph, const std::string& path) {
 
 Csr read_dimacs(const std::string& path) {
   FilePtr f = open_or_throw(path, "r");
-  char line[512];
+  std::string line;
   NodeId n = 0;
   std::vector<EdgeTriple> edges;
-  while (std::fgets(line, sizeof(line), f.get())) {
-    if (line[0] == 'c' || line[0] == '\n') continue;
+  while (read_line(f.get(), line)) {
+    if (line.empty() || line[0] == 'c') continue;
     if (line[0] == 'p') {
       unsigned long long nn = 0, mm = 0;
-      if (std::sscanf(line, "p sp %llu %llu", &nn, &mm) == 2) {
+      if (std::sscanf(line.c_str(), "p sp %llu %llu", &nn, &mm) == 2) {
         n = static_cast<NodeId>(nn);
         edges.reserve(mm);
       }
@@ -88,7 +109,7 @@ Csr read_dimacs(const std::string& path) {
     if (line[0] == 'a') {
       unsigned long long u = 0, v = 0;
       double w = 1.0;
-      if (std::sscanf(line, "a %llu %llu %lf", &u, &v, &w) == 3) {
+      if (std::sscanf(line.c_str(), "a %llu %llu %lf", &u, &v, &w) == 3) {
         // DIMACS ids are 1-based.
         edges.push_back({static_cast<NodeId>(u - 1), static_cast<NodeId>(v - 1),
                          static_cast<Weight>(w)});
@@ -104,24 +125,24 @@ Csr read_dimacs(const std::string& path) {
 
 Csr read_matrix_market(const std::string& path) {
   FilePtr f = open_or_throw(path, "r");
-  char line[512];
+  std::string line;
   // Header: %%MatrixMarket matrix coordinate <field> <symmetry>
-  if (!std::fgets(line, sizeof(line), f.get()) ||
-      std::strncmp(line, "%%MatrixMarket", 14) != 0) {
+  if (!read_line(f.get(), line) ||
+      std::strncmp(line.c_str(), "%%MatrixMarket", 14) != 0) {
     throw std::runtime_error("graffix: '" + path +
                              "' is not a MatrixMarket file");
   }
-  bool symmetric = std::strstr(line, "symmetric") != nullptr;
-  bool pattern = std::strstr(line, "pattern") != nullptr;
-  if (std::strstr(line, "coordinate") == nullptr) {
+  bool symmetric = line.find("symmetric") != std::string::npos;
+  bool pattern = line.find("pattern") != std::string::npos;
+  if (line.find("coordinate") == std::string::npos) {
     throw std::runtime_error("graffix: only coordinate .mtx is supported");
   }
 
   // Skip comments, read the size line.
   unsigned long long rows = 0, cols = 0, nnz = 0;
-  while (std::fgets(line, sizeof(line), f.get())) {
-    if (line[0] == '%' || line[0] == '\n') continue;
-    if (std::sscanf(line, "%llu %llu %llu", &rows, &cols, &nnz) != 3) {
+  while (read_line(f.get(), line)) {
+    if (line.empty() || line[0] == '%') continue;
+    if (std::sscanf(line.c_str(), "%llu %llu %llu", &rows, &cols, &nnz) != 3) {
       throw std::runtime_error("graffix: bad .mtx size line in '" + path +
                                "'");
     }
@@ -132,11 +153,11 @@ Csr read_matrix_market(const std::string& path) {
   builder.set_weighted(!pattern);
   builder.reserve(symmetric ? 2 * nnz : nnz);
   unsigned long long entries = 0;
-  while (std::fgets(line, sizeof(line), f.get()) && entries < nnz) {
-    if (line[0] == '%' || line[0] == '\n') continue;
+  while (entries < nnz && read_line(f.get(), line)) {
+    if (line.empty() || line[0] == '%') continue;
     unsigned long long r = 0, c = 0;
     double value = 1.0;
-    const int got = std::sscanf(line, "%llu %llu %lf", &r, &c, &value);
+    const int got = std::sscanf(line.c_str(), "%llu %llu %lf", &r, &c, &value);
     if (got < 2 || r == 0 || c == 0 || r > n || c > n) {
       throw std::runtime_error("graffix: bad .mtx entry in '" + path + "'");
     }

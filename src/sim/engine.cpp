@@ -1,5 +1,7 @@
 #include "sim/engine.hpp"
 
+#include <cmath>
+
 namespace graffix::sim {
 
 void Engine::charge_uniform_kernel(std::uint64_t n_items, double tx_per_item,
@@ -12,11 +14,13 @@ void Engine::charge_uniform_kernel(std::uint64_t n_items, double tx_per_item,
   stats.lane_slots += steps * ws;
   stats.active_lanes += n_items;
   stats.aux_ops += n_items;
-  // Uniform streaming access: perfectly coalesced.
+  // Uniform streaming access: perfectly coalesced. Ceil, not round: a
+  // partial trailing segment still occupies a full bus transaction, and
+  // a kernel that touches any bytes owes at least one.
+  const double bytes =
+      static_cast<double>(n_items) * tx_per_item * config_.attr_bytes;
   const auto tx = static_cast<std::uint64_t>(
-      static_cast<double>(n_items) * tx_per_item * config_.attr_bytes /
-          config_.transaction_bytes +
-      0.5);
+      std::ceil(bytes / config_.transaction_bytes));
   stats.attr_transactions += tx;
   stats.attr_ideal_transactions += tx;
 }

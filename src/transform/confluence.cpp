@@ -1,15 +1,23 @@
 #include "transform/confluence.hpp"
 
+#include <atomic>
 #include <cmath>
+
+#include "util/parallel.hpp"
 
 namespace graffix::transform {
 
 namespace {
 template <typename T>
 std::size_t finite_mean_impl(const ReplicaMap& map, std::span<T> attr) {
-  std::size_t merges = 0;
-  for (const auto& group : map.groups) {
-    if (group.size() < 2) continue;
+  // Replica groups partition the slots they touch (group_of_slot maps
+  // each slot to at most one group), so per-group parallelism is
+  // race-free; within a group the accumulation order is fixed, so the
+  // merged values are independent of thread count.
+  std::atomic<std::size_t> merges{0};
+  parallel_for_dynamic(std::size_t{0}, map.groups.size(), [&](std::size_t g) {
+    const auto& group = map.groups[g];
+    if (group.size() < 2) return;
     double sum = 0.0;
     std::size_t finite = 0;
     for (NodeId s : group) {
@@ -18,12 +26,12 @@ std::size_t finite_mean_impl(const ReplicaMap& map, std::span<T> attr) {
         ++finite;
       }
     }
-    if (finite == 0) continue;
-    ++merges;
+    if (finite == 0) return;
+    merges.fetch_add(1, std::memory_order_relaxed);
     const T merged = static_cast<T>(sum / static_cast<double>(finite));
     for (NodeId s : group) attr[s] = merged;
-  }
-  return merges;
+  });
+  return merges.load();
 }
 }  // namespace
 

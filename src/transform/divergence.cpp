@@ -4,7 +4,9 @@
 #include <numeric>
 #include <unordered_set>
 
+#include "graph/rebuild.hpp"
 #include "util/macros.hpp"
+#include "util/parallel.hpp"
 
 namespace graffix::transform {
 
@@ -13,18 +15,28 @@ namespace {
 double degree_uniformity(const std::vector<NodeId>& order,
                          const std::vector<NodeId>& degree,
                          std::uint32_t warp_size) {
-  std::uint64_t useful = 0, issued = 0;
-  for (std::size_t base = 0; base < order.size(); base += warp_size) {
+  const std::size_t groups = (order.size() + warp_size - 1) / warp_size;
+  // Per-warp-group tallies in parallel; integer sums are order-invariant,
+  // so the serial accumulation below is thread-count independent.
+  std::vector<std::uint64_t> useful(groups, 0), issued(groups, 0);
+  parallel_for(std::size_t{0}, groups, [&](std::size_t g) {
+    const std::size_t base = g * warp_size;
     const std::size_t hi = std::min(order.size(), base + warp_size);
     NodeId max_deg = 0;
     for (std::size_t i = base; i < hi; ++i) {
       max_deg = std::max(max_deg, degree[order[i]]);
-      useful += degree[order[i]];
+      useful[g] += degree[order[i]];
     }
-    issued += static_cast<std::uint64_t>(max_deg) * warp_size;
+    issued[g] = static_cast<std::uint64_t>(max_deg) * warp_size;
+  });
+  std::uint64_t useful_total = 0, issued_total = 0;
+  for (std::size_t g = 0; g < groups; ++g) {
+    useful_total += useful[g];
+    issued_total += issued[g];
   }
-  return issued == 0 ? 1.0
-                     : static_cast<double>(useful) / static_cast<double>(issued);
+  return issued_total == 0 ? 1.0
+                           : static_cast<double>(useful_total) /
+                                 static_cast<double>(issued_total);
 }
 
 }  // namespace
@@ -40,7 +52,7 @@ DivergenceResult divergence_transform(const Csr& graph,
   DivergenceResult result;
 
   std::vector<NodeId> degree(n);
-  for (NodeId u = 0; u < n; ++u) degree[u] = graph.degree(u);
+  parallel_for(NodeId{0}, n, [&](NodeId u) { degree[u] = graph.degree(u); });
 
   // Bucket sort by degree: nodes land in power-of-two degree buckets
   // ("similar degrees together", §4) rather than a full sort — this is
@@ -69,85 +81,85 @@ DivergenceResult divergence_transform(const Csr& graph,
   const auto budget = static_cast<std::uint64_t>(
       knobs.edge_budget_fraction * static_cast<double>(graph.num_edges()));
 
-  std::vector<std::vector<std::pair<NodeId, Weight>>> extra(n);
-  std::uint64_t added_total = 0;
-
-  std::unordered_set<NodeId> existing;
-  for (std::size_t base = 0; base < result.warp_order.size() && added_total < budget;
-       base += ws) {
+  // --- 2-hop candidate enumeration ----------------------------------------
+  // Phase 1 (parallel): each warp position enumerates its node's 2-hop
+  // boost candidates independently — per-node candidate lists depend only
+  // on the warp's max degree and the node's adjacency, not on the global
+  // budget, so this pass is embarrassingly parallel and deterministic.
+  // Phase 2 (serial, cheap) walks warp order and truncates at the global
+  // budget, which reproduces the sequential semantics exactly.
+  const std::size_t groups = (result.warp_order.size() + ws - 1) / ws;
+  std::vector<NodeId> warp_max(groups, 0);
+  parallel_for(std::size_t{0}, groups, [&](std::size_t g) {
+    const std::size_t base = g * ws;
     const std::size_t hi = std::min(result.warp_order.size(), base + ws);
-    NodeId max_deg = 0;
     for (std::size_t i = base; i < hi; ++i) {
-      max_deg = std::max(max_deg, degree[result.warp_order[i]]);
+      warp_max[g] = std::max(warp_max[g], degree[result.warp_order[i]]);
     }
-    if (max_deg == 0) continue;
-    const auto target = static_cast<NodeId>(knobs.boost_to * max_deg);
+  });
 
-    for (std::size_t i = base; i < hi && added_total < budget; ++i) {
-      const NodeId u = result.warp_order[i];
-      const NodeId d = degree[u];
-      if (d == 0 || d >= target) continue;
-      const double degree_sim =
-          1.0 - static_cast<double>(d) / static_cast<double>(max_deg);
-      if (degree_sim > knobs.degree_sim_threshold) continue;
+  std::vector<std::vector<ExtraArc>> candidates(n);
+  const std::size_t enumerate_upto =
+      budget == 0 ? 0 : result.warp_order.size();
+  parallel_for_dynamic(
+      std::size_t{0}, enumerate_upto, [&](std::size_t i) {
+        const NodeId max_deg = warp_max[i / ws];
+        if (max_deg == 0) return;
+        const auto target = static_cast<NodeId>(knobs.boost_to * max_deg);
+        const NodeId u = result.warp_order[i];
+        const NodeId d = degree[u];
+        if (d == 0 || d >= target) return;
+        const double degree_sim =
+            1.0 - static_cast<double>(d) / static_cast<double>(max_deg);
+        if (degree_sim > knobs.degree_sim_threshold) return;
 
-      NodeId needed = target - d;
-      existing.clear();
-      existing.insert(u);
-      for (NodeId v : graph.neighbors(u)) existing.insert(v);
+        NodeId needed = target - d;
+        std::unordered_set<NodeId> existing;
+        existing.insert(u);
+        for (NodeId v : graph.neighbors(u)) existing.insert(v);
 
-      // 2-hop destinations, in adjacency order for determinism.
-      const auto nbrs = graph.neighbors(u);
-      const auto wts =
-          weighted ? graph.edge_weights(u) : std::span<const Weight>{};
-      for (std::size_t p = 0;
-           p < nbrs.size() && needed > 0 && added_total < budget; ++p) {
-        const NodeId mid = nbrs[p];
-        const Weight w1 = weighted ? wts[p] : Weight{1};
-        const auto hops = graph.neighbors(mid);
-        const auto hop_wts =
-            weighted ? graph.edge_weights(mid) : std::span<const Weight>{};
-        for (std::size_t q = 0;
-             q < hops.size() && needed > 0 && added_total < budget; ++q) {
-          const NodeId dst = hops[q];
-          if (existing.contains(dst)) continue;
-          const Weight w2 = weighted ? hop_wts[q] : Weight{1};
-          extra[u].emplace_back(dst, w1 + w2);
-          existing.insert(dst);
-          --needed;
-          ++added_total;
-          if (added_total >= budget) break;
+        // 2-hop destinations, in adjacency order for determinism.
+        const auto nbrs = graph.neighbors(u);
+        const auto wts =
+            weighted ? graph.edge_weights(u) : std::span<const Weight>{};
+        for (std::size_t p = 0; p < nbrs.size() && needed > 0; ++p) {
+          const NodeId mid = nbrs[p];
+          const Weight w1 = weighted ? wts[p] : Weight{1};
+          const auto hops = graph.neighbors(mid);
+          const auto hop_wts =
+              weighted ? graph.edge_weights(mid) : std::span<const Weight>{};
+          for (std::size_t q = 0; q < hops.size() && needed > 0; ++q) {
+            const NodeId dst = hops[q];
+            if (existing.contains(dst)) continue;
+            const Weight w2 = weighted ? hop_wts[q] : Weight{1};
+            candidates[u].push_back({dst, w1 + w2});
+            existing.insert(dst);
+            --needed;
+          }
         }
-      }
-    }
+      });
+
+  std::vector<std::vector<ExtraArc>> extra(n);
+  std::uint64_t added_total = 0;
+  for (std::size_t i = 0;
+       i < result.warp_order.size() && added_total < budget; ++i) {
+    const NodeId u = result.warp_order[i];
+    auto& cand = candidates[u];
+    if (cand.empty()) continue;
+    const auto keep = static_cast<std::size_t>(
+        std::min<std::uint64_t>(cand.size(), budget - added_total));
+    cand.resize(keep);
+    added_total += keep;
+    extra[u] = std::move(cand);
   }
   result.edges_added = added_total;
 
   // Rebuild the Csr with extra arcs appended per node.
-  std::vector<EdgeId> offsets(static_cast<std::size_t>(n) + 1, 0);
-  for (NodeId u = 0; u < n; ++u) {
-    offsets[u + 1] = offsets[u] + graph.degree(u) + extra[u].size();
-  }
-  std::vector<NodeId> targets(offsets.back());
-  std::vector<Weight> weights(weighted ? offsets.back() : 0);
-  for (NodeId u = 0; u < n; ++u) {
-    EdgeId pos = offsets[u];
-    const auto nbrs = graph.neighbors(u);
-    for (std::size_t i = 0; i < nbrs.size(); ++i, ++pos) {
-      targets[pos] = nbrs[i];
-      if (weighted) weights[pos] = graph.edge_weights(u)[i];
-    }
-    for (const auto& [dst, w] : extra[u]) {
-      targets[pos] = dst;
-      if (weighted) weights[pos] = w;
-      ++pos;
-    }
-  }
-  result.graph = Csr(std::move(offsets), std::move(targets), std::move(weights),
-                     {graph.holes().begin(), graph.holes().end()});
+  result.graph = rebuild_with_extras(graph, extra);
 
   std::vector<NodeId> new_degree(n);
-  for (NodeId u = 0; u < n; ++u) new_degree[u] = result.graph.degree(u);
+  parallel_for(NodeId{0}, n,
+               [&](NodeId u) { new_degree[u] = result.graph.degree(u); });
   result.degree_uniformity_after =
       degree_uniformity(result.warp_order, new_degree, ws);
 

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "graph/properties.hpp"
+#include "graph/rebuild.hpp"
 #include "util/parallel.hpp"
 #include "util/macros.hpp"
 
@@ -12,35 +13,43 @@ namespace graffix::transform {
 
 namespace {
 
-struct Arc {
-  NodeId dst;
-  Weight w;
-};
+using Arc = ExtraArc;
 
-/// Sorted undirected adjacency with weights (min over directions).
+/// Sorted undirected adjacency with weights (min over directions). Row u
+/// merges u's out-neighbors with its in-neighbors (from the transpose),
+/// so each row is built independently — parallel and deterministic.
 std::vector<std::vector<Arc>> undirected_adjacency(const Csr& graph) {
   const NodeId n = graph.num_slots();
   std::vector<std::vector<Arc>> und(n);
   const bool weighted = graph.has_weights();
-  for (NodeId u = 0; u < n; ++u) {
-    const auto nbrs = graph.neighbors(u);
-    for (std::size_t i = 0; i < nbrs.size(); ++i) {
-      const NodeId v = nbrs[i];
-      if (v == u) continue;
-      const Weight w = weighted ? graph.edge_weights(u)[i] : Weight{1};
-      und[u].push_back({v, w});
-      und[v].push_back({u, w});
+  const Csr rev = graph.transpose();
+  parallel_for_dynamic(NodeId{0}, n, [&](NodeId u) {
+    auto& list = und[u];
+    const auto out = graph.neighbors(u);
+    const auto in = rev.neighbors(u);
+    list.reserve(out.size() + in.size());
+    const auto out_w =
+        weighted ? graph.edge_weights(u) : std::span<const Weight>{};
+    const auto in_w =
+        weighted ? rev.edge_weights(u) : std::span<const Weight>{};
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      if (out[i] == u) continue;
+      list.push_back({out[i], weighted ? out_w[i] : Weight{1}});
     }
-  }
-  for (auto& list : und) {
-    std::sort(list.begin(), list.end(),
-              [](const Arc& a, const Arc& b) { return a.dst < b.dst; });
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      if (in[i] == u) continue;
+      list.push_back({in[i], weighted ? in_w[i] : Weight{1}});
+    }
+    std::sort(list.begin(), list.end(), [](const Arc& a, const Arc& b) {
+      if (a.dst != b.dst) return a.dst < b.dst;
+      return a.w < b.w;
+    });
     list.erase(std::unique(list.begin(), list.end(),
                            [](const Arc& a, const Arc& b) {
                              return a.dst == b.dst;
                            }),
                list.end());
-  }
+  });
   return und;
 }
 
@@ -237,31 +246,8 @@ LatencyResult latency_transform(const Csr& graph, const LatencyKnobs& knobs) {
   }
   result.edges_added = arcs_added;
 
-  // Rebuild the Csr with the extra arcs appended.
-  {
-    std::vector<EdgeId> offsets(static_cast<std::size_t>(n) + 1, 0);
-    for (NodeId u = 0; u < n; ++u) {
-      offsets[u + 1] = offsets[u] + graph.degree(u) + extra[u].size();
-    }
-    std::vector<NodeId> targets(offsets.back());
-    std::vector<Weight> weights(graph.has_weights() ? offsets.back() : 0);
-    for (NodeId u = 0; u < n; ++u) {
-      EdgeId pos = offsets[u];
-      const auto nbrs = graph.neighbors(u);
-      for (std::size_t i = 0; i < nbrs.size(); ++i, ++pos) {
-        targets[pos] = nbrs[i];
-        if (!weights.empty()) weights[pos] = graph.edge_weights(u)[i];
-      }
-      for (const Arc& a : extra[u]) {
-        targets[pos] = a.dst;
-        if (!weights.empty()) weights[pos] = a.w;
-        ++pos;
-      }
-    }
-    result.graph =
-        Csr(std::move(offsets), std::move(targets), std::move(weights),
-            {graph.holes().begin(), graph.holes().end()});
-  }
+  // Rebuild the Csr with the extra arcs appended (shared parallel path).
+  result.graph = rebuild_with_extras(graph, extra);
 
   {
     parallel_for_dynamic(NodeId{0}, n, [&](NodeId u) {

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <numeric>
+#include <span>
 
 #include "util/macros.hpp"
+#include "util/parallel.hpp"
+#include "util/prefix_sum.hpp"
 
 namespace graffix::transform {
 
@@ -143,22 +146,25 @@ RenumberResult renumber_bfs_forest(const Csr& graph, std::uint32_t k) {
 }
 
 Csr apply_renumbering(const Csr& graph, const RenumberResult& renumber) {
+  // Parallel permuted rebuild: per-slot degrees -> deterministic scan ->
+  // per-slot scatter. Each slot's edge range is fixed before the scatter,
+  // so the output is identical for every thread count.
   const NodeId slots = renumber.num_slots;
   std::vector<EdgeId> offsets(static_cast<std::size_t>(slots) + 1, 0);
   std::vector<std::uint8_t> holes(slots, 0);
-  for (NodeId s = 0; s < slots; ++s) {
+  parallel_for(NodeId{0}, slots, [&](NodeId s) {
     if (renumber.is_hole_slot(s)) {
       holes[s] = 1;
     } else {
-      offsets[s + 1] = graph.degree(renumber.node_of_slot[s]);
+      offsets[s] = graph.degree(renumber.node_of_slot[s]);
     }
-  }
-  for (NodeId s = 0; s < slots; ++s) offsets[s + 1] += offsets[s];
+  });
+  parallel_exclusive_scan_inplace(std::span<EdgeId>(offsets));
 
   std::vector<NodeId> targets(graph.num_edges());
   std::vector<Weight> weights(graph.has_weights() ? graph.num_edges() : 0);
-  for (NodeId s = 0; s < slots; ++s) {
-    if (holes[s]) continue;
+  parallel_for_dynamic(NodeId{0}, slots, [&](NodeId s) {
+    if (holes[s]) return;
     const NodeId old = renumber.node_of_slot[s];
     const auto nbrs = graph.neighbors(old);
     EdgeId pos = offsets[s];
@@ -166,7 +172,7 @@ Csr apply_renumbering(const Csr& graph, const RenumberResult& renumber) {
       targets[pos] = renumber.slot_of_node[nbrs[i]];
       if (!weights.empty()) weights[pos] = graph.edge_weights(old)[i];
     }
-  }
+  });
   return Csr(std::move(offsets), std::move(targets), std::move(weights),
              std::move(holes));
 }

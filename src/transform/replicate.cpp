@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "graph/rebuild.hpp"
 #include "util/macros.hpp"
 #include "util/parallel.hpp"
 
@@ -143,21 +144,19 @@ ReplicationResult replicate_into_holes(const Csr& renumbered,
   };
 
   // --- Mutable adjacency ----------------------------------------------------
-  struct Arc {
-    NodeId dst;
-    Weight w;
-  };
+  using Arc = ExtraArc;
   std::vector<std::vector<Arc>> adj(slots);
-  for (NodeId s = 0; s < slots; ++s) {
+  std::vector<std::uint8_t> holes(slots, 0);
+  parallel_for_dynamic(NodeId{0}, slots, [&](NodeId s) {
+    holes[s] = renumbered.is_hole(s) ? 1 : 0;
     const auto nbrs = renumbered.neighbors(s);
     adj[s].reserve(nbrs.size());
+    const auto wts =
+        weighted ? renumbered.edge_weights(s) : std::span<const Weight>{};
     for (std::size_t i = 0; i < nbrs.size(); ++i) {
-      adj[s].push_back(
-          {nbrs[i], weighted ? renumbered.edge_weights(s)[i] : Weight{1}});
+      adj[s].push_back({nbrs[i], weighted ? wts[i] : Weight{1}});
     }
-  }
-  std::vector<std::uint8_t> holes(slots, 0);
-  for (NodeId s = 0; s < slots; ++s) holes[s] = renumbered.is_hole(s) ? 1 : 0;
+  });
 
   ReplicaMap& map = result.replicas;
   map.group_of_slot.assign(slots, kInvalidNode);
@@ -243,21 +242,8 @@ ReplicationResult replicate_into_holes(const Csr& renumbered,
     ++result.holes_filled;
   }
 
-  // --- Rebuild the Csr -------------------------------------------------------
-  std::vector<EdgeId> offsets(static_cast<std::size_t>(slots) + 1, 0);
-  for (NodeId s = 0; s < slots; ++s) offsets[s + 1] = offsets[s] + adj[s].size();
-  std::vector<NodeId> targets(offsets.back());
-  std::vector<Weight> weights(weighted ? offsets.back() : 0);
-  for (NodeId s = 0; s < slots; ++s) {
-    EdgeId pos = offsets[s];
-    for (const Arc& a : adj[s]) {
-      targets[pos] = a.dst;
-      if (weighted) weights[pos] = a.w;
-      ++pos;
-    }
-  }
-  result.graph = Csr(std::move(offsets), std::move(targets), std::move(weights),
-                     std::move(holes));
+  // --- Rebuild the Csr (shared parallel path) -------------------------------
+  result.graph = rebuild_from_adjacency(adj, weighted, std::move(holes));
   return result;
 }
 

@@ -4,7 +4,12 @@ namespace graffix {
 
 namespace {
 int g_override_threads = 0;
-}
+/// Hardware default captured before the first override so that
+/// set_num_threads(0) can actually restore it (omp_get_max_threads()
+/// reflects any prior omp_set_num_threads, so it must be read before
+/// the first pin).
+int g_default_threads = 0;
+}  // namespace
 
 int num_threads() {
   if (g_override_threads > 0) return g_override_threads;
@@ -12,8 +17,9 @@ int num_threads() {
 }
 
 void set_num_threads(int n) {
-  g_override_threads = n;
-  if (n > 0) omp_set_num_threads(n);
+  if (g_default_threads == 0) g_default_threads = omp_get_max_threads();
+  g_override_threads = n > 0 ? n : 0;
+  omp_set_num_threads(n > 0 ? n : g_default_threads);
 }
 
 }  // namespace graffix

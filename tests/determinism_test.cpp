@@ -1,0 +1,323 @@
+// Determinism-under-parallelism contract (DESIGN.md §7): every parallel
+// path in the transform substrate must produce bit-identical output for
+// every thread count. These tests run the same operation at 1, 2, and 8
+// threads (oversubscription included on purpose — correctness must not
+// depend on the hardware pool size) and compare outputs exactly.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "gen/suite.hpp"
+#include "graph/builder.hpp"
+#include "graph/csr.hpp"
+#include "graph/rebuild.hpp"
+#include "transform/coalescing.hpp"
+#include "transform/combined.hpp"
+#include "transform/confluence.hpp"
+#include "transform/divergence.hpp"
+#include "transform/latency.hpp"
+#include "util/parallel.hpp"
+#include "util/prefix_sum.hpp"
+
+namespace graffix {
+namespace {
+
+constexpr int kThreadCounts[] = {1, 2, 8};
+
+/// Pins the worker pool, runs fn, restores the hardware default.
+template <typename Fn>
+auto at_threads(int t, Fn&& fn) {
+  set_num_threads(t);
+  auto result = fn();
+  set_num_threads(0);
+  return result;
+}
+
+void expect_same_csr(const Csr& a, const Csr& b, const char* what) {
+  ASSERT_EQ(a.num_slots(), b.num_slots()) << what;
+  ASSERT_EQ(a.num_edges(), b.num_edges()) << what;
+  EXPECT_TRUE(std::equal(a.offsets().begin(), a.offsets().end(),
+                         b.offsets().begin()))
+      << what << ": offsets differ";
+  EXPECT_TRUE(std::equal(a.targets().begin(), a.targets().end(),
+                         b.targets().begin()))
+      << what << ": targets differ";
+  ASSERT_EQ(a.has_weights(), b.has_weights()) << what;
+  if (a.has_weights()) {
+    EXPECT_TRUE(std::equal(a.weights().begin(), a.weights().end(),
+                           b.weights().begin()))
+        << what << ": weights differ";
+  }
+  ASSERT_EQ(a.has_holes(), b.has_holes()) << what;
+  if (a.has_holes()) {
+    EXPECT_TRUE(
+        std::equal(a.holes().begin(), a.holes().end(), b.holes().begin()))
+        << what << ": holes differ";
+  }
+}
+
+// --- parallel_exclusive_scan_inplace ---------------------------------
+
+TEST(ScanDeterminism, MatchesSerialAroundParallelThreshold) {
+  // The scan falls back to the serial path below 1<<14 elements; cover
+  // sizes straddling that boundary plus a multi-chunk size.
+  constexpr std::size_t kThreshold = std::size_t{1} << 14;
+  const std::size_t sizes[] = {1,          5,          kThreshold - 1,
+                               kThreshold, kThreshold + 1, 3 * kThreshold + 7};
+  for (std::size_t n : sizes) {
+    std::vector<std::uint64_t> input(n);
+    std::uint64_t x = 0x9e3779b97f4a7c15ull;
+    for (auto& v : input) {
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+      v = x % 1000;
+    }
+    std::vector<std::uint64_t> expected = input;
+    const std::uint64_t expected_total =
+        exclusive_scan_inplace(std::span<std::uint64_t>(expected));
+    for (int t : kThreadCounts) {
+      std::vector<std::uint64_t> got = input;
+      const std::uint64_t total = at_threads(t, [&] {
+        return parallel_exclusive_scan_inplace(std::span<std::uint64_t>(got));
+      });
+      EXPECT_EQ(total, expected_total) << "n=" << n << " threads=" << t;
+      EXPECT_EQ(got, expected) << "n=" << n << " threads=" << t;
+    }
+  }
+}
+
+// --- rebuild helpers -------------------------------------------------
+
+TEST(Rebuild, WithExtrasAppendsInOrder) {
+  GraphBuilder b(3);
+  b.set_weighted(true);
+  b.add_edge(0, 1, 1.0f);
+  b.add_edge(0, 2, 2.0f);
+  b.add_edge(2, 0, 3.0f);
+  const Csr base = b.build();
+
+  std::vector<std::vector<ExtraArc>> extra(3);
+  extra[0] = {{2, 9.0f}};
+  extra[1] = {{0, 4.0f}, {2, 5.0f}};
+  const Csr out = rebuild_with_extras(base, extra);
+
+  ASSERT_EQ(out.num_edges(), 6u);
+  const std::vector<EdgeId> offsets(out.offsets().begin(),
+                                    out.offsets().end());
+  EXPECT_EQ(offsets, (std::vector<EdgeId>{0, 3, 5, 6}));
+  const std::vector<NodeId> targets(out.targets().begin(),
+                                    out.targets().end());
+  // Base adjacency first, then extras in list order (no re-sort, no
+  // dedup — transform semantics).
+  EXPECT_EQ(targets, (std::vector<NodeId>{1, 2, 2, 0, 2, 0}));
+  ASSERT_TRUE(out.has_weights());
+  const std::vector<Weight> weights(out.weights().begin(),
+                                    out.weights().end());
+  EXPECT_EQ(weights,
+            (std::vector<Weight>{1.0f, 2.0f, 9.0f, 4.0f, 5.0f, 3.0f}));
+}
+
+TEST(Rebuild, WithEmptyExtrasReproducesBase) {
+  const Csr base = make_preset(GraphPreset::Rmat26, 8, 3);
+  const Csr out = rebuild_with_extras(base, {});
+  expect_same_csr(base, out, "empty extras");
+}
+
+TEST(Rebuild, FromAdjacencyCarriesHolesAndWeights) {
+  std::vector<std::vector<ExtraArc>> adj(3);
+  adj[0] = {{1, 1.5f}, {2, 2.5f}};
+  adj[2] = {{0, 3.5f}};
+  const Csr out =
+      rebuild_from_adjacency(adj, /*weighted=*/true, {0, 1, 0});
+
+  ASSERT_EQ(out.num_slots(), 3u);
+  ASSERT_EQ(out.num_edges(), 3u);
+  EXPECT_TRUE(out.is_hole(1));
+  EXPECT_FALSE(out.is_hole(0));
+  const std::vector<EdgeId> offsets(out.offsets().begin(),
+                                    out.offsets().end());
+  EXPECT_EQ(offsets, (std::vector<EdgeId>{0, 2, 2, 3}));
+  const std::vector<NodeId> targets(out.targets().begin(),
+                                    out.targets().end());
+  EXPECT_EQ(targets, (std::vector<NodeId>{1, 2, 0}));
+  ASSERT_TRUE(out.has_weights());
+  EXPECT_FLOAT_EQ(out.edge_weights(0)[1], 2.5f);
+  EXPECT_FLOAT_EQ(out.edge_weights(2)[0], 3.5f);
+}
+
+TEST(Rebuild, DeterministicAcrossThreadCounts) {
+  const Csr base = make_preset(GraphPreset::Rmat26, 11, 5);
+  std::vector<std::vector<ExtraArc>> extra(base.num_slots());
+  // Deterministic synthetic extras: every 3rd slot gains two arcs.
+  for (NodeId u = 0; u < base.num_slots(); u += 3) {
+    extra[u] = {{(u + 1) % base.num_slots(), 1.0f},
+                {(u + 7) % base.num_slots(), 2.0f}};
+  }
+  const Csr ref =
+      at_threads(1, [&] { return rebuild_with_extras(base, extra); });
+  for (int t : {2, 8}) {
+    const Csr got =
+        at_threads(t, [&] { return rebuild_with_extras(base, extra); });
+    expect_same_csr(ref, got, "rebuild_with_extras");
+  }
+}
+
+// --- Csr::transpose / symmetrized ------------------------------------
+
+TEST(CsrDeterminism, TransposeIdenticalAcrossThreadCounts) {
+  const Csr g = make_preset(GraphPreset::Rmat26, 11, 7);
+  // Large enough that the parallel counting-sort path engages at t > 1.
+  ASSERT_GE(g.num_edges(), std::uint64_t{1} << 14);
+  const Csr ref = at_threads(1, [&] { return g.transpose(); });
+  for (int t : {2, 8}) {
+    const Csr got = at_threads(t, [&] { return g.transpose(); });
+    expect_same_csr(ref, got, "transpose");
+  }
+}
+
+TEST(CsrDeterminism, DoubleTransposeIsAFixpoint) {
+  // T(T(G)) canonicalizes each row to ascending target order, so a
+  // further double transpose must reproduce it exactly.
+  const Csr g = make_preset(GraphPreset::Rmat26, 10, 7);
+  const Csr canon = at_threads(8, [&] { return g.transpose().transpose(); });
+  EXPECT_EQ(canon.num_edges(), g.num_edges());
+  ASSERT_EQ(canon.num_slots(), g.num_slots());
+  const Csr again =
+      at_threads(8, [&] { return canon.transpose().transpose(); });
+  expect_same_csr(canon, again, "double transpose fixpoint");
+}
+
+TEST(CsrDeterminism, SymmetrizedIdenticalAcrossThreadCounts) {
+  const Csr g = make_preset(GraphPreset::Rmat26, 11, 9);
+  const Csr ref = at_threads(1, [&] { return g.symmetrized(); });
+  for (int t : {2, 8}) {
+    const Csr got = at_threads(t, [&] { return g.symmetrized(); });
+    expect_same_csr(ref, got, "symmetrized");
+  }
+}
+
+// --- transforms ------------------------------------------------------
+
+TEST(TransformDeterminism, DivergenceBitIdentical) {
+  const Csr g = make_preset(GraphPreset::Rmat26, 10, 7);
+  const transform::DivergenceKnobs knobs;
+  const auto ref =
+      at_threads(1, [&] { return transform::divergence_transform(g, knobs); });
+  EXPECT_GT(ref.edges_added, 0u);  // the approximation must engage
+  for (int t : {2, 8}) {
+    const auto got = at_threads(
+        t, [&] { return transform::divergence_transform(g, knobs); });
+    expect_same_csr(ref.graph, got.graph, "divergence graph");
+    EXPECT_EQ(ref.warp_order, got.warp_order);
+    EXPECT_EQ(ref.edges_added, got.edges_added);
+    EXPECT_DOUBLE_EQ(ref.degree_uniformity_before,
+                     got.degree_uniformity_before);
+    EXPECT_DOUBLE_EQ(ref.degree_uniformity_after, got.degree_uniformity_after);
+  }
+}
+
+TEST(TransformDeterminism, LatencyBitIdentical) {
+  const Csr g = make_preset(GraphPreset::Rmat26, 10, 7);
+  const transform::LatencyKnobs knobs;
+  const auto ref =
+      at_threads(1, [&] { return transform::latency_transform(g, knobs); });
+  for (int t : {2, 8}) {
+    const auto got =
+        at_threads(t, [&] { return transform::latency_transform(g, knobs); });
+    expect_same_csr(ref.graph, got.graph, "latency graph");
+    EXPECT_EQ(ref.edges_added, got.edges_added);
+    EXPECT_EQ(ref.schedule.resident, got.schedule.resident);
+    ASSERT_EQ(ref.schedule.clusters.size(), got.schedule.clusters.size());
+    for (std::size_t c = 0; c < ref.schedule.clusters.size(); ++c) {
+      EXPECT_EQ(ref.schedule.clusters[c].members,
+                got.schedule.clusters[c].members);
+      EXPECT_EQ(ref.schedule.clusters[c].inner_iterations,
+                got.schedule.clusters[c].inner_iterations);
+    }
+    EXPECT_DOUBLE_EQ(ref.mean_cc_before, got.mean_cc_before);
+    EXPECT_DOUBLE_EQ(ref.mean_cc_after, got.mean_cc_after);
+  }
+}
+
+TEST(TransformDeterminism, CoalescingBitIdentical) {
+  const Csr g = make_preset(GraphPreset::Rmat26, 10, 7);
+  const transform::CoalescingKnobs knobs;
+  const auto ref =
+      at_threads(1, [&] { return transform::coalescing_transform(g, knobs); });
+  for (int t : {2, 8}) {
+    const auto got = at_threads(
+        t, [&] { return transform::coalescing_transform(g, knobs); });
+    expect_same_csr(ref.graph, got.graph, "coalescing graph");
+    EXPECT_EQ(ref.renumber.slot_of_node, got.renumber.slot_of_node);
+    EXPECT_EQ(ref.renumber.node_of_slot, got.renumber.node_of_slot);
+    EXPECT_EQ(ref.replicas.groups, got.replicas.groups);
+    EXPECT_EQ(ref.replicas.group_of_slot, got.replicas.group_of_slot);
+    EXPECT_EQ(ref.edges_added, got.edges_added);
+    EXPECT_EQ(ref.holes_filled, got.holes_filled);
+  }
+}
+
+TEST(TransformDeterminism, CombinedBitIdentical) {
+  const Csr g = make_preset(GraphPreset::Rmat26, 10, 7);
+  transform::CombinedKnobs knobs;
+  knobs.coalescing.emplace();
+  knobs.latency.emplace();
+  knobs.divergence.emplace();
+  const auto ref =
+      at_threads(1, [&] { return transform::combined_transform(g, knobs); });
+  for (int t : {2, 8}) {
+    const auto got =
+        at_threads(t, [&] { return transform::combined_transform(g, knobs); });
+    expect_same_csr(ref.graph, got.graph, "combined graph");
+    EXPECT_EQ(ref.warp_order, got.warp_order);
+    EXPECT_EQ(ref.replicas.groups, got.replicas.groups);
+    EXPECT_EQ(ref.schedule.resident, got.schedule.resident);
+    EXPECT_EQ(ref.edges_added, got.edges_added);
+  }
+}
+
+// --- confluence ------------------------------------------------------
+
+TEST(ConfluenceDeterminism, FiniteMeanMergeBitIdentical) {
+  // Many replica groups with awkward values (denormal-adjacent sums,
+  // infinities to exercise the finite filter).
+  constexpr NodeId kSlots = 3000;
+  transform::ReplicaMap map;
+  map.group_of_slot.assign(kSlots, kInvalidNode);
+  for (NodeId base = 0; base + 3 <= kSlots; base += 3) {
+    const NodeId gid = static_cast<NodeId>(map.groups.size());
+    map.groups.push_back({base, base + 1, base + 2});
+    for (NodeId s = base; s < base + 3; ++s) map.group_of_slot[s] = gid;
+  }
+  std::vector<float> init(kSlots);
+  for (NodeId s = 0; s < kSlots; ++s) {
+    init[s] = (s % 97 == 0) ? std::numeric_limits<float>::infinity()
+                            : 0.1f * static_cast<float>(s % 1013) - 17.3f;
+  }
+  std::vector<float> ref = init;
+  const std::size_t ref_merges = at_threads(1, [&] {
+    return transform::merge_replicas_finite_mean(map, std::span<float>(ref));
+  });
+  for (int t : {2, 8}) {
+    std::vector<float> got = init;
+    const std::size_t merges = at_threads(t, [&] {
+      return transform::merge_replicas_finite_mean(map,
+                                                   std::span<float>(got));
+    });
+    EXPECT_EQ(merges, ref_merges);
+    // Bit-identical floats: per-group accumulation order is fixed.
+    EXPECT_EQ(std::memcmp(got.data(), ref.data(),
+                          got.size() * sizeof(float)),
+              0)
+        << "threads=" << t;
+  }
+}
+
+}  // namespace
+}  // namespace graffix

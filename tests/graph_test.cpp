@@ -354,6 +354,41 @@ TEST_F(IoTest, BinaryRoundTripWithHolesAndWeights) {
   EXPECT_FLOAT_EQ(back.edge_weights(0)[1], 2.5f);
 }
 
+TEST_F(IoTest, LongCommentLineDoesNotYieldBogusEdge) {
+  // Regression: lines were read through a fixed 512-byte fgets buffer;
+  // a comment longer than that was silently split, and when the tail of
+  // the split started with digits it re-parsed as a phantom edge.
+  const std::string p = path("longcomment.txt");
+  created_.push_back(p);
+  std::FILE* f = std::fopen(p.c_str(), "w");
+  std::string comment = "# ";
+  comment.append(509, 'x');  // the old buffer split exactly after 511 chars
+  comment += "7 8\n";
+  std::fputs(comment.c_str(), f);
+  std::fputs("0 1\n", f);
+  std::fclose(f);
+  Csr g = read_edge_list(p, /*weighted=*/false, 2);
+  EXPECT_EQ(g.num_nodes(), 2u);  // a phantom "7 8" edge would force 9
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.neighbors(0)[0], 1u);
+}
+
+TEST_F(IoTest, LongEdgeLineParsesWholeLine) {
+  // An edge line whose numbers straddle the old 512-byte buffer boundary
+  // was silently dropped (the first fragment held only one number).
+  const std::string p = path("longedge.txt");
+  created_.push_back(p);
+  std::FILE* f = std::fopen(p.c_str(), "w");
+  std::string line(510, ' ');
+  line += "5 6\n";  // '5' lands at index 510, the last slot of the old read
+  std::fputs(line.c_str(), f);
+  std::fclose(f);
+  Csr g = read_edge_list(p, /*weighted=*/false, 0);
+  ASSERT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.num_nodes(), 7u);
+  EXPECT_EQ(g.neighbors(5)[0], 6u);
+}
+
 TEST_F(IoTest, DimacsParsing) {
   const std::string p = path("road.gr");
   created_.push_back(p);

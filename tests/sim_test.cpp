@@ -212,6 +212,21 @@ TEST(Engine, ChargeUniformKernelIsCoalesced) {
   EXPECT_EQ(stats.attr_transactions, stats.attr_ideal_transactions);
 }
 
+TEST(Engine, ChargeUniformKernelRoundsUpPartialTransactions) {
+  // Regression: +0.5 rounding charged ZERO transactions to any kernel
+  // touching fewer than transaction_bytes/2 bytes. A kernel that touches
+  // any bytes owes at least one transaction (ceil semantics).
+  Csr g = single_edge_graph(8, {});
+  Engine engine(g, test_config());
+  KernelStats one_item;
+  engine.charge_uniform_kernel(1, 1.0, one_item);  // 4 B of a 128 B segment
+  EXPECT_EQ(one_item.attr_transactions, 1u);
+
+  KernelStats partial;
+  engine.charge_uniform_kernel(33, 1.0, partial);  // 132 B -> 2 segments
+  EXPECT_EQ(partial.attr_transactions, 2u);
+}
+
 TEST(Engine, NoLaunchChargeWhenDisabled) {
   Csr g = single_edge_graph(8, {0});
   Engine engine(g, test_config());

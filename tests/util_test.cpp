@@ -162,6 +162,19 @@ TEST(AtomicBitset, ConcurrentSetsCountEachBitOnce) {
   EXPECT_EQ(bits.count(), static_cast<std::size_t>(1 << 12));
 }
 
+TEST(SetNumThreads, ZeroRestoresHardwareDefault) {
+  // Regression: set_num_threads(0) used to clear only the bookkeeping
+  // override without calling omp_set_num_threads, so the OpenMP pool
+  // stayed pinned at the last explicit count forever.
+  const int hw = num_threads();
+  set_num_threads(3);
+  EXPECT_EQ(num_threads(), 3);
+  EXPECT_EQ(omp_get_max_threads(), 3);
+  set_num_threads(0);
+  EXPECT_EQ(num_threads(), hw);
+  EXPECT_EQ(omp_get_max_threads(), hw);
+}
+
 TEST(ParallelFor, CoversRangeExactlyOnce) {
   constexpr int n = 10000;
   std::vector<std::atomic<int>> hits(n);
