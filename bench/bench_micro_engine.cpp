@@ -1,0 +1,201 @@
+// Engine micro-benchmark + determinism gate.
+//
+// Measures wall-clock time of the simulation hot paths — raw engine
+// sweeps, SSSP (topology- and frontier-driven), PageRank, and the
+// source-parallel BC loop — at 1/2/8 worker threads, and verifies that
+// KernelStats, sim_seconds, and the output attributes are bit-identical
+// across all thread counts (the DESIGN.md §7 contract). Exits non-zero
+// on any mismatch, so this binary doubles as a runtime determinism
+// check.
+//
+// Results are written as machine-readable JSON to BENCH_engine.json
+// (override with --json FILE) so the perf trajectory can be tracked
+// across commits.
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/runners.hpp"
+#include "gen/suite.hpp"
+#include "harness.hpp"
+#include "metrics/table.hpp"
+#include "sim/engine.hpp"
+#include "util/parallel.hpp"
+
+namespace {
+
+using graffix::Csr;
+using graffix::NodeId;
+using graffix::Weight;
+using graffix::core::Algorithm;
+using graffix::core::RunConfig;
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// One timed cell run: wall-clock plus everything that must be
+/// bit-identical across thread counts.
+struct CellRun {
+  double wall = 0.0;
+  graffix::sim::KernelStats stats;
+  std::vector<double> attr;
+  double sim_seconds = 0.0;
+};
+
+struct Cell {
+  std::string name;
+  std::function<CellRun()> run;
+};
+
+NodeId max_degree_node(const Csr& graph) {
+  NodeId best = 0, best_degree = 0;
+  for (NodeId v = 0; v < graph.num_slots(); ++v) {
+    if (!graph.is_hole(v) && graph.degree(v) > best_degree) {
+      best = v;
+      best_degree = graph.degree(v);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto options = graffix::bench::parse_args(argc, argv);
+  const std::string json_path =
+      options.json_path.empty() ? "BENCH_engine.json" : options.json_path;
+
+  const Csr graph = graffix::make_preset(graffix::GraphPreset::Rmat26,
+                                         options.scale, options.seed);
+  const NodeId source = max_degree_node(graph);
+  const int engine_reps = options.scale >= 13 ? 5 : 20;
+
+  std::vector<Cell> cells;
+
+  // Raw lockstep sweeps with an order-sensitive Bellman-Ford functor:
+  // exercises the sharded accounting phase + serial replay directly.
+  cells.push_back({"engine_sweep", [&] {
+    CellRun r;
+    graffix::sim::Engine engine(graph, graffix::sim::SimConfig{});
+    const auto items = graffix::sim::items_all_vertices(graph);
+    graffix::sim::SweepOptions opts;
+    opts.weighted = graph.has_weights();
+    std::vector<double> dist(graph.num_slots(),
+                             std::numeric_limits<double>::infinity());
+    dist[source] = 0.0;
+    const double t0 = now_seconds();
+    for (int rep = 0; rep < engine_reps; ++rep) {
+      engine.sweep_gated(
+          items, opts, [&](NodeId u) { return std::isfinite(dist[u]); },
+          [&](NodeId u, NodeId v, Weight w) {
+            const double nd = dist[u] + static_cast<double>(w);
+            if (nd < dist[v]) {
+              dist[v] = nd;
+              return true;
+            }
+            return false;
+          },
+          r.stats);
+    }
+    r.wall = now_seconds() - t0;
+    r.attr = std::move(dist);
+    return r;
+  }});
+
+  auto algo_cell = [&](const char* name, Algorithm alg,
+                       graffix::baselines::BaselineId baseline) {
+    cells.push_back({name, [&, alg, baseline] {
+      CellRun r;
+      RunConfig rc;
+      rc.baseline = baseline;
+      rc.seed = options.seed;
+      rc.sssp_source = source;
+      rc.bc_sample_count = options.bc_sources;
+      const double t0 = now_seconds();
+      const auto out = graffix::core::run_algorithm(alg, graph, rc);
+      r.wall = now_seconds() - t0;
+      r.stats = out.stats;
+      r.attr = out.attr;
+      r.sim_seconds = out.sim_seconds;
+      return r;
+    }});
+  };
+  algo_cell("sssp_topology", Algorithm::SSSP,
+            graffix::baselines::BaselineId::TopologyDriven);
+  algo_cell("sssp_frontier", Algorithm::SSSP,
+            graffix::baselines::BaselineId::GunrockLike);
+  algo_cell("pagerank", Algorithm::PR,
+            graffix::baselines::BaselineId::TopologyDriven);
+  algo_cell("bc", Algorithm::BC,
+            graffix::baselines::BaselineId::TopologyDriven);
+
+  const std::vector<int> thread_counts{1, 2, 8};
+  bool all_identical = true;
+
+  std::printf("bench_micro_engine: scale=%u seed=%llu (rmat)\n", options.scale,
+              static_cast<unsigned long long>(options.seed));
+  graffix::metrics::Table table(
+      {"Config", "T=1 (s)", "T=2 (s)", "T=8 (s)", "Speedup 8v1", "Identical"});
+
+  FILE* json = std::fopen(json_path.c_str(), "w");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\"bench\":\"bench_micro_engine\",\"scale\":%u,\"seed\":%llu,"
+                 "\"configs\":[",
+                 options.scale, static_cast<unsigned long long>(options.seed));
+  }
+
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    std::vector<CellRun> runs;
+    for (int t : thread_counts) {
+      graffix::set_num_threads(t);
+      runs.push_back(cells[c].run());
+    }
+    bool identical = true;
+    for (std::size_t i = 1; i < runs.size(); ++i) {
+      identical = identical && runs[i].stats == runs[0].stats &&
+                  runs[i].attr == runs[0].attr &&
+                  runs[i].sim_seconds == runs[0].sim_seconds;
+    }
+    all_identical = all_identical && identical;
+    const double speedup =
+        runs.back().wall > 0.0 ? runs.front().wall / runs.back().wall : 0.0;
+    table.add_row({cells[c].name, graffix::metrics::Table::num(runs[0].wall, 4),
+                   graffix::metrics::Table::num(runs[1].wall, 4),
+                   graffix::metrics::Table::num(runs[2].wall, 4),
+                   graffix::metrics::Table::speedup(speedup),
+                   identical ? "yes" : "NO"});
+    if (json != nullptr) {
+      std::fprintf(json,
+                   "%s{\"name\":\"%s\",\"wall_s\":{\"1\":%.9g,\"2\":%.9g,"
+                   "\"8\":%.9g},\"speedup_8v1\":%.9g,\"identical\":%s}",
+                   c > 0 ? "," : "", cells[c].name.c_str(), runs[0].wall,
+                   runs[1].wall, runs[2].wall, speedup,
+                   identical ? "true" : "false");
+    }
+  }
+  graffix::set_num_threads(
+      options.threads > 0 ? static_cast<int>(options.threads) : 0);
+
+  table.print();
+  if (json != nullptr) {
+    std::fprintf(json, "],\"identical\":%s}\n",
+                 all_identical ? "true" : "false");
+    std::fclose(json);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "FAIL: results drift across thread counts (see table)\n");
+    return 1;
+  }
+  return 0;
+}

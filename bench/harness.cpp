@@ -11,6 +11,37 @@
 
 namespace graffix::bench {
 
+namespace {
+
+std::string g_json_path;
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Appends one `{"table": <title>, "kind": <kind>, <body>}` line.
+template <typename Body>
+void json_table(const std::string& title, const char* kind, Body&& body) {
+  if (g_json_path.empty()) return;
+  FILE* f = std::fopen(g_json_path.c_str(), "a");
+  if (f == nullptr) return;
+  std::fprintf(f, "{\"table\":\"%s\",\"kind\":\"%s\",",
+               json_escape(title).c_str(), kind);
+  body(f);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+const std::string& json_output_path() { return g_json_path; }
+
 BenchOptions parse_args(int argc, char** argv) {
   BenchOptions options;
   for (int i = 1; i < argc; ++i) {
@@ -36,10 +67,12 @@ BenchOptions parse_args(int argc, char** argv) {
     } else if (std::strcmp(arg, "--verbose") == 0) {
       options.verbose = true;
       set_log_level(LogLevel::Info);
+    } else if (std::strcmp(arg, "--json") == 0) {
+      options.json_path = next_value();
     } else if (std::strcmp(arg, "--help") == 0) {
       std::printf(
           "usage: %s [--scale N] [--seed S] [--bc-sources K] [--threads T] "
-          "[--quick] [--verbose]\n",
+          "[--json FILE] [--quick] [--verbose]\n",
           argv[0]);
       std::exit(0);
     } else {
@@ -51,6 +84,7 @@ BenchOptions parse_args(int argc, char** argv) {
   if (options.threads > 0) {
     set_num_threads(static_cast<int>(options.threads));
   }
+  g_json_path = options.json_path;
   return options;
 }
 
@@ -90,6 +124,20 @@ void print_experiment_table(const std::string& title,
   table.add_row({"", "Paper", metrics::Table::speedup(paper_speedup),
                  metrics::Table::pct(paper_inaccuracy_pct, 1)});
   table.print();
+  json_table(title, "experiment", [&](FILE* f) {
+    std::fprintf(f, "\"rows\":[");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const auto& row = rows[i];
+      std::fprintf(f,
+                   "%s{\"algo\":\"%s\",\"graph\":\"%s\",\"exact_s\":%.9g,"
+                   "\"approx_s\":%.9g,\"speedup\":%.9g,\"inaccuracy_pct\":%.9g}",
+                   i > 0 ? "," : "", core::algorithm_name(row.algorithm),
+                   json_escape(row.graph).c_str(), row.exact_seconds,
+                   row.approx_seconds, row.speedup, row.inaccuracy_pct);
+    }
+    std::fprintf(f, "],\"geomean_speedup\":%.9g,\"geomean_inaccuracy_pct\":%.9g",
+                 summary.speedup, summary.inaccuracy_pct);
+  });
 }
 
 void print_exact_table(const std::string& title,
@@ -133,6 +181,16 @@ void print_exact_table(const std::string& title,
     table.add_row(std::move(cells));
   }
   table.print();
+  json_table(title, "exact", [&](FILE* f) {
+    std::fprintf(f, "\"rows\":[");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const auto& row = rows[i];
+      std::fprintf(f, "%s{\"algo\":\"%s\",\"graph\":\"%s\",\"exact_s\":%.9g}",
+                   i > 0 ? "," : "", core::algorithm_name(row.algorithm),
+                   json_escape(row.graph).c_str(), row.exact_seconds);
+    }
+    std::fprintf(f, "]");
+  });
 }
 
 void print_preprocessing_table(const std::string& title,
@@ -145,6 +203,19 @@ void print_preprocessing_table(const std::string& title,
                    std::to_string(row.edges_added)});
   }
   table.print();
+  json_table(title, "preprocessing", [&](FILE* f) {
+    std::fprintf(f, "\"rows\":[");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const auto& row = rows[i];
+      std::fprintf(f,
+                   "%s{\"graph\":\"%s\",\"seconds\":%.9g,"
+                   "\"extra_space_pct\":%.9g,\"edges_added\":%llu}",
+                   i > 0 ? "," : "", json_escape(row.graph).c_str(),
+                   row.seconds, row.extra_space_pct,
+                   static_cast<unsigned long long>(row.edges_added));
+    }
+    std::fprintf(f, "]");
+  });
 }
 
 void print_preprocessing_scaling_table(

@@ -7,6 +7,9 @@
 //   --bc-sources K  sampled BC sources (the paper computes full BC; we
 //                   sample to keep host time sane — see EXPERIMENTS.md)
 //   --quick         scale 9 smoke run (used by `ctest`-adjacent checks)
+//   --threads T     pin the worker pool to T threads (0 = hardware)
+//   --json FILE     additionally append machine-readable JSON lines
+//                   (one object per printed table) to FILE
 #pragma once
 
 #include <cstdint>
@@ -25,9 +28,15 @@ struct BenchOptions {
   std::uint32_t bc_sources = 4;
   std::uint32_t threads = 0;  // 0 = hardware default
   bool verbose = false;
+  std::string json_path;  // empty = no JSON output
 };
 
 [[nodiscard]] BenchOptions parse_args(int argc, char** argv);
+
+/// Path given by --json (empty when disabled). While set, every print_*
+/// table call also appends one JSON object line to this file, so the
+/// perf trajectory can be tracked by tooling across runs.
+[[nodiscard]] const std::string& json_output_path();
 
 /// Applies the common options onto an experiment config.
 [[nodiscard]] core::ExperimentConfig make_config(const BenchOptions& options,

@@ -17,19 +17,24 @@ std::vector<Weight> sssp_dijkstra(const Csr& graph, NodeId source) {
   using Entry = std::pair<Weight, NodeId>;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
   heap.push({0, source});
+  // Invariant spans hoisted out of the pop loop: the CSR arrays never
+  // move while we relax, so indexing by edge id beats re-fetching the
+  // per-node spans (and re-asking has_weights()) on every pop.
+  const auto offsets = graph.offsets();
+  const auto targets = graph.targets();
+  const auto weights = graph.weights();
+  const bool weighted = graph.has_weights();
   while (!heap.empty()) {
     const auto [d, u] = heap.top();
     heap.pop();
     if (d > dist[u]) continue;
-    const auto nbrs = graph.neighbors(u);
-    const bool weighted = graph.has_weights();
-    const auto wts = weighted ? graph.edge_weights(u) : std::span<const Weight>{};
-    for (std::size_t i = 0; i < nbrs.size(); ++i) {
-      const Weight w = weighted ? wts[i] : Weight{1};
-      const Weight nd = d + w;
-      if (nd < dist[nbrs[i]]) {
-        dist[nbrs[i]] = nd;
-        heap.push({nd, nbrs[i]});
+    const EdgeId end = offsets[u + 1];
+    for (EdgeId e = offsets[u]; e < end; ++e) {
+      const NodeId v = targets[e];
+      const Weight nd = d + (weighted ? weights[e] : Weight{1});
+      if (nd < dist[v]) {
+        dist[v] = nd;
+        heap.push({nd, v});
       }
     }
   }

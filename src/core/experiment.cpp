@@ -1,9 +1,11 @@
 #include "core/experiment.hpp"
 
 #include <algorithm>
+#include <memory>
 
 #include "algorithms/bc.hpp"
 #include "util/macros.hpp"
+#include "util/parallel.hpp"
 
 namespace graffix::core {
 
@@ -132,31 +134,52 @@ std::vector<ExperimentRow> run_graph(const SuiteEntry& entry,
     bc_slots[i] = pipeline.slot_of_node(bc_nodes[i]);
   }
 
-  std::vector<ExperimentRow> rows;
-  for (Algorithm alg : config.algorithms) {
+  // One task per (algorithm, exact|approx) cell: Pipeline::run/run_exact
+  // only read the pipeline's transform artifacts, so the cells are
+  // independent and run concurrently. Rows are assembled in algorithm
+  // order afterwards, so the table is identical at any thread count.
+  struct Cell {
+    RunOutput exact;
+    RunOutput approx;
+  };
+  std::vector<Cell> cells(config.algorithms.size());
+  auto run_cell = [&](std::size_t t) {
+    const Algorithm alg = config.algorithms[t / 2];
     RunConfig rc;
     rc.sim = config.sim;
     rc.baseline = config.baseline;
     rc.seed = config.seed;
     rc.confluence_every = config.confluence_every;
+    if (t % 2 == 0) {
+      rc.sssp_source = sssp_source;
+      rc.bc_sources = bc_nodes;
+      cells[t / 2].exact = pipeline.run_exact(alg, rc);
+    } else {
+      rc.sssp_source = pipeline.slot_of_node(sssp_source);
+      rc.bc_sources = bc_slots;
+      cells[t / 2].approx = pipeline.run(alg, rc);
+    }
+  };
+  const std::size_t n_tasks = 2 * cells.size();
+  if (n_tasks > 1 && num_threads() > 1 && !in_parallel()) {
+    parallel_for_dynamic(std::size_t{0}, n_tasks, run_cell, /*grain=*/1);
+  } else {
+    for (std::size_t t = 0; t < n_tasks; ++t) run_cell(t);
+  }
 
-    RunConfig rc_exact = rc;
-    rc_exact.sssp_source = sssp_source;
-    rc_exact.bc_sources = bc_nodes;
-    const RunOutput exact = pipeline.run_exact(alg, rc_exact);
-
-    RunConfig rc_approx = rc;
-    rc_approx.sssp_source = pipeline.slot_of_node(sssp_source);
-    rc_approx.bc_sources = bc_slots;
-    const RunOutput approx = pipeline.run(alg, rc_approx);
-
+  std::vector<ExperimentRow> rows;
+  rows.reserve(cells.size());
+  for (std::size_t a = 0; a < cells.size(); ++a) {
+    const RunOutput& exact = cells[a].exact;
+    const RunOutput& approx = cells[a].approx;
     ExperimentRow row;
     row.graph = entry.name;
-    row.algorithm = alg;
+    row.algorithm = config.algorithms[a];
     row.exact_seconds = exact.sim_seconds;
     row.approx_seconds = approx.sim_seconds;
     row.speedup = metrics::speedup(exact.sim_seconds, approx.sim_seconds);
-    row.inaccuracy_pct = cell_inaccuracy(alg, exact, approx, pipeline);
+    row.inaccuracy_pct =
+        cell_inaccuracy(config.algorithms[a], exact, approx, pipeline);
     row.exact_iterations = exact.iterations;
     row.approx_iterations = approx.iterations;
     rows.push_back(std::move(row));
@@ -166,6 +189,9 @@ std::vector<ExperimentRow> run_graph(const SuiteEntry& entry,
 
 std::vector<ExperimentRow> run_table(const ExperimentConfig& config) {
   std::vector<ExperimentRow> rows;
+  // Graphs stay sequential: each one's transform phase and its
+  // (algorithm x exact/approx) cells are internally parallel already,
+  // and one resident transformed graph at a time bounds peak memory.
   for (const SuiteEntry& entry : make_suite(config.scale, config.seed)) {
     auto graph_rows = run_graph(entry, config);
     rows.insert(rows.end(), graph_rows.begin(), graph_rows.end());
@@ -180,27 +206,50 @@ std::vector<ExperimentRow> run_table(const ExperimentConfig& config) {
 }
 
 std::vector<ExperimentRow> run_exact_table(const ExperimentConfig& config) {
+  // No transform here, so every (graph x algorithm) cell of the matrix
+  // is independent: build the per-graph contexts up front, run the flat
+  // cell list concurrently, and emit rows in (graph, algorithm) order.
+  const std::vector<SuiteEntry> suite = make_suite(config.scale, config.seed);
+  const std::size_t n_algs = config.algorithms.size();
+  struct GraphCtx {
+    std::unique_ptr<Pipeline> pipeline;
+    NodeId sssp_source = 0;
+    std::vector<NodeId> bc_nodes;
+  };
+  std::vector<GraphCtx> ctx(suite.size());
+  for (std::size_t g = 0; g < suite.size(); ++g) {
+    ctx[g].pipeline = std::make_unique<Pipeline>(suite[g].graph);
+    ctx[g].sssp_source = pick_sssp_source(suite[g].graph);
+    ctx[g].bc_nodes =
+        sample_bc_sources(suite[g].graph, config.bc_sources, config.seed);
+  }
+
+  std::vector<RunOutput> outs(suite.size() * n_algs);
+  auto run_cell = [&](std::size_t t) {
+    const GraphCtx& c = ctx[t / n_algs];
+    RunConfig rc;
+    rc.sim = config.sim;
+    rc.baseline = config.baseline;
+    rc.seed = config.seed;
+    rc.sssp_source = c.sssp_source;
+    rc.bc_sources = c.bc_nodes;
+    outs[t] = c.pipeline->run_exact(config.algorithms[t % n_algs], rc);
+  };
+  if (outs.size() > 1 && num_threads() > 1 && !in_parallel()) {
+    parallel_for_dynamic(std::size_t{0}, outs.size(), run_cell, /*grain=*/1);
+  } else {
+    for (std::size_t t = 0; t < outs.size(); ++t) run_cell(t);
+  }
+
   std::vector<ExperimentRow> rows;
-  for (const SuiteEntry& entry : make_suite(config.scale, config.seed)) {
-    Pipeline pipeline(entry.graph);
-    const NodeId sssp_source = pick_sssp_source(entry.graph);
-    const std::vector<NodeId> bc_nodes =
-        sample_bc_sources(entry.graph, config.bc_sources, config.seed);
-    for (Algorithm alg : config.algorithms) {
-      RunConfig rc;
-      rc.sim = config.sim;
-      rc.baseline = config.baseline;
-      rc.seed = config.seed;
-      rc.sssp_source = sssp_source;
-      rc.bc_sources = bc_nodes;
-      const RunOutput exact = pipeline.run_exact(alg, rc);
-      ExperimentRow row;
-      row.graph = entry.name;
-      row.algorithm = alg;
-      row.exact_seconds = exact.sim_seconds;
-      row.exact_iterations = exact.iterations;
-      rows.push_back(std::move(row));
-    }
+  rows.reserve(outs.size());
+  for (std::size_t t = 0; t < outs.size(); ++t) {
+    ExperimentRow row;
+    row.graph = suite[t / n_algs].name;
+    row.algorithm = config.algorithms[t % n_algs];
+    row.exact_seconds = outs[t].sim_seconds;
+    row.exact_iterations = outs[t].iterations;
+    rows.push_back(std::move(row));
   }
   return rows;
 }

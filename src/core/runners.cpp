@@ -1,8 +1,10 @@
 #include "core/runners.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <numeric>
 #include <optional>
 #include <unordered_set>
@@ -12,6 +14,7 @@
 #include "sim/engine.hpp"
 #include "util/bitset.hpp"
 #include "util/macros.hpp"
+#include "util/parallel.hpp"
 
 namespace graffix::core {
 
@@ -49,60 +52,79 @@ using transform::ReplicaMap;
 /// Shared machinery for all runners: work-list construction respecting
 /// the warp order, global sweeps, cluster inner sweeps, confluence, and
 /// the final stats -> seconds conversion.
+///
+/// The warp layout and the cluster/boundary graph split are immutable
+/// once built, so they live in a read-only Layout that forked drivers
+/// share: run_bc runs one fork per Brandes source (possibly
+/// concurrently) without rebuilding the split, then folds the forks'
+/// counters back in source order.
 class Driver {
  public:
+  /// Immutable per-run layout shared between a driver and its forks.
+  struct Layout {
+    std::vector<NodeId> order;
+    std::vector<NodeId> pos;
+    bool has_clusters = false;
+    Csr cluster_graph;
+    Csr boundary_graph;
+    std::vector<std::vector<WorkItem>> cluster_items;
+  };
+
   /// uses_weights: whether the algorithm actually streams the weights
   /// array (SSSP/MST); PR/BC/SCC ignore weights and must not pay for
-  /// them.
-  Driver(const Csr& graph, const RunConfig& config, bool uses_weights)
+  /// them. Passing a layout forks the driver: it reuses the warp order
+  /// and cluster split but accumulates its own stats from zero.
+  Driver(const Csr& graph, const RunConfig& config, bool uses_weights,
+         std::shared_ptr<const Layout> layout = nullptr)
       : graph_(graph),
         config_(config),
-        strategy_(baselines::make_strategy(config.baseline)) {
-    const NodeId slots = graph.num_slots();
-    if (!config.warp_order.empty()) {
-      GRAFFIX_CHECK(config.warp_order.size() == graph.num_slots(),
-                    "warp order covers %zu of %u slots",
-                    config.warp_order.size(), graph.num_slots());
-      order_.assign(config.warp_order.begin(), config.warp_order.end());
-    } else {
-      // Hole slots stay in the warp layout as idle lanes: the coalescing
-      // transform's chunk alignment depends on warp w covering slots
-      // [w*32, w*32+32) exactly (§2.2-2.3); compacting holes out would
-      // shear every later chunk off its warp.
-      order_.resize(slots);
-      std::iota(order_.begin(), order_.end(), NodeId{0});
-    }
-    pos_.assign(slots, kInvalidNode);
-    for (std::size_t i = 0; i < order_.size(); ++i) {
-      pos_[order_[i]] = static_cast<NodeId>(i);
-    }
-
+        strategy_(baselines::make_strategy(config.baseline)),
+        layout_(layout != nullptr ? std::move(layout)
+                                  : build_layout(graph, config)) {
     opts_.edge_mode = strategy_->edge_load_mode();
     opts_.weighted = uses_weights && graph.has_weights();
-    if (config.clusters != nullptr && !config.clusters->empty()) {
-      build_cluster_graph();
-    }
     engine_.emplace(exec_graph(), config.sim);
+    if (layout_->has_clusters) {
+      cluster_engine_.emplace(layout_->cluster_graph, config.sim);
+    }
   }
 
   [[nodiscard]] bool data_driven() const { return strategy_->data_driven(); }
-  [[nodiscard]] const std::vector<NodeId>& order() const { return order_; }
+  [[nodiscard]] const std::vector<NodeId>& order() const {
+    return layout_->order;
+  }
   [[nodiscard]] const Csr& graph() const { return graph_; }
   [[nodiscard]] KernelStats& stats() { return stats_; }
+  [[nodiscard]] std::shared_ptr<const Layout> layout() const {
+    return layout_;
+  }
+  [[nodiscard]] std::uint64_t primary_items() const { return primary_items_; }
+  [[nodiscard]] std::uint64_t primary_launches() const {
+    return primary_launches_;
+  }
 
-  /// Global sweep over `active` slots (sorted into warp order here).
+  /// Folds a fork's accumulated counters into this driver, as if its
+  /// sweeps had run here. Callers fold forks in source order so the
+  /// totals accumulate exactly as a single serial driver would.
+  void absorb(const KernelStats& stats, std::uint64_t items,
+              std::uint64_t launches) {
+    stats_ += stats;
+    primary_items_ += items;
+    primary_launches_ += launches;
+  }
+
+  /// Global sweep over `active` slots (reordered into warp order here).
   template <typename Fn>
   void sweep(std::vector<NodeId>& active, Fn&& fn) {
-    std::sort(active.begin(), active.end(), [&](NodeId a, NodeId b) {
-      return pos_[a] < pos_[b];
-    });
+    order_active(active);
     sweep_impl(active, [](NodeId) { return true; }, std::forward<Fn>(fn));
   }
 
   /// Global sweep over every slot in warp order.
   template <typename Fn>
   void sweep_all(Fn&& fn) {
-    sweep_impl(order_, [](NodeId) { return true; }, std::forward<Fn>(fn));
+    sweep_impl(layout_->order, [](NodeId) { return true; },
+               std::forward<Fn>(fn));
   }
 
   /// Topology-driven sweep with a per-vertex gate: every slot is assigned
@@ -112,7 +134,7 @@ class Driver {
   /// traffic for untouched vertices while still paying divergence.
   template <typename Gate, typename Fn>
   void sweep_all_gated(Gate&& gate, Fn&& fn) {
-    sweep_impl(order_, std::forward<Gate>(gate), std::forward<Fn>(fn));
+    sweep_impl(layout_->order, std::forward<Gate>(gate), std::forward<Fn>(fn));
   }
 
   /// One round of shared-memory inner iterations: every cluster selected
@@ -134,7 +156,7 @@ class Driver {
     for (std::size_t c = 0; c < clusters.size(); ++c) {
       if (!want(c)) continue;
       any = true;
-      const auto& items = cluster_items_[c];
+      const auto& items = layout_->cluster_items[c];
       cluster_engine_->sweep(items, copts, fn, stats_);
     }
     if (any && round == 0) stats_.sweeps += 1;  // the phase is one launch
@@ -179,12 +201,13 @@ class Driver {
     engine_->sweep_gated(work_, opts_, gate, fn, stats_);
     if (has_clusters()) {
       cluster_work_.clear();
+      const Csr& cgraph = layout_->cluster_graph;
       const auto& resident = config_.clusters->resident;
       for (NodeId s : slots_in_order) {
         if (resident[s] == kInvalidNode) continue;
-        const NodeId d = cluster_graph_.degree(s);
+        const NodeId d = cgraph.degree(s);
         if (d > 0) {
-          cluster_work_.push_back({s, cluster_graph_.edge_begin(s), d});
+          cluster_work_.push_back({s, cgraph.edge_begin(s), d});
         }
       }
       if (!cluster_work_.empty()) {
@@ -206,13 +229,70 @@ class Driver {
     charge_aux(slots_in_order.size());
   }
 
-  [[nodiscard]] bool has_clusters() const {
-    return config_.clusters != nullptr && !config_.clusters->empty();
-  }
+  [[nodiscard]] bool has_clusters() const { return layout_->has_clusters; }
 
   /// Graph the boundary sweeps execute on.
   [[nodiscard]] const Csr& exec_graph() const {
-    return has_clusters() ? boundary_graph_ : graph_;
+    return has_clusters() ? layout_->boundary_graph : graph_;
+  }
+
+  /// Reorders `active` into ascending warp position — exactly the order
+  /// the previous comparator std::sort produced — in O(n) plus a scan of
+  /// the touched bitmap span: scatter each slot to its position with
+  /// epoch-stamped duplicate counts, then walk set position bits in
+  /// ascending word/bit order. Steady-state it allocates nothing; tiny
+  /// frontiers take an insertion sort instead, since scanning the bitmap
+  /// span would dominate them.
+  void order_active(std::vector<NodeId>& active) {
+    const auto& pos = layout_->pos;
+    const auto& order = layout_->order;
+    if (active.size() < 2) return;
+    if (active.size() <= 32) {
+      for (std::size_t i = 1; i < active.size(); ++i) {
+        const NodeId a = active[i];
+        std::size_t k = i;
+        while (k > 0 && pos[active[k - 1]] > pos[a]) {
+          active[k] = active[k - 1];
+          --k;
+        }
+        active[k] = a;
+      }
+      return;
+    }
+    if (pos_epoch_.empty()) {
+      pos_count_.assign(pos.size(), 0);
+      pos_epoch_.assign(pos.size(), 0);
+      pos_word_.assign((pos.size() + 63) / 64, 0);
+    }
+    pos_gen_ += 1;
+    std::size_t wmin = std::numeric_limits<std::size_t>::max();
+    std::size_t wmax = 0;
+    for (const NodeId a : active) {
+      const NodeId p = pos[a];
+      if (pos_epoch_[p] != pos_gen_) {
+        pos_epoch_[p] = pos_gen_;
+        pos_count_[p] = 0;
+      }
+      pos_count_[p] += 1;
+      const std::size_t w = p / 64;
+      pos_word_[w] |= std::uint64_t{1} << (p % 64);
+      wmin = std::min(wmin, w);
+      wmax = std::max(wmax, w);
+    }
+    std::size_t k = 0;
+    for (std::size_t w = wmin; w <= wmax; ++w) {
+      std::uint64_t bits = pos_word_[w];
+      if (bits == 0) continue;
+      pos_word_[w] = 0;
+      while (bits != 0) {
+        const auto p = static_cast<NodeId>(
+            w * 64 + static_cast<std::size_t>(std::countr_zero(bits)));
+        bits &= bits - 1;
+        for (std::uint32_t c = pos_count_[p]; c > 0; --c) {
+          active[k++] = order[p];
+        }
+      }
+    }
   }
 
  public:
@@ -335,14 +415,44 @@ class Driver {
     if (items > 0) engine_->charge_uniform_kernel(items, 8.0, stats_);
   }
 
+  /// Builds the immutable layout: the warp order, its inverse, and (with
+  /// a cluster schedule) the cluster/boundary graph split.
+  [[nodiscard]] static std::shared_ptr<const Layout> build_layout(
+      const Csr& graph, const RunConfig& config) {
+    auto layout = std::make_shared<Layout>();
+    const NodeId slots = graph.num_slots();
+    if (!config.warp_order.empty()) {
+      GRAFFIX_CHECK(config.warp_order.size() == graph.num_slots(),
+                    "warp order covers %zu of %u slots",
+                    config.warp_order.size(), graph.num_slots());
+      layout->order.assign(config.warp_order.begin(), config.warp_order.end());
+    } else {
+      // Hole slots stay in the warp layout as idle lanes: the coalescing
+      // transform's chunk alignment depends on warp w covering slots
+      // [w*32, w*32+32) exactly (§2.2-2.3); compacting holes out would
+      // shear every later chunk off its warp.
+      layout->order.resize(slots);
+      std::iota(layout->order.begin(), layout->order.end(), NodeId{0});
+    }
+    layout->pos.assign(slots, kInvalidNode);
+    for (std::size_t i = 0; i < layout->order.size(); ++i) {
+      layout->pos[layout->order[i]] = static_cast<NodeId>(i);
+    }
+    if (config.clusters != nullptr && !config.clusters->empty()) {
+      build_cluster_split(graph, *config.clusters, *layout);
+    }
+    return layout;
+  }
+
   /// Splits the input graph into the intra-cluster subgraph (processed in
   /// shared memory) and the complementary boundary graph. Every edge of
   /// the input lands in exactly one of the two.
-  void build_cluster_graph() {
-    const ClusterSchedule& schedule = *config_.clusters;
-    const NodeId slots = graph_.num_slots();
+  static void build_cluster_split(const Csr& graph,
+                                  const ClusterSchedule& schedule,
+                                  Layout& layout) {
+    const NodeId slots = graph.num_slots();
     const auto& resident = schedule.resident;
-    const bool weighted = graph_.has_weights();
+    const bool weighted = graph.has_weights();
 
     auto is_internal = [&](NodeId u, NodeId v) {
       return resident[u] != kInvalidNode && resident[u] == resident[v];
@@ -351,7 +461,7 @@ class Driver {
     std::vector<EdgeId> coff(static_cast<std::size_t>(slots) + 1, 0);
     std::vector<EdgeId> boff(static_cast<std::size_t>(slots) + 1, 0);
     for (NodeId u = 0; u < slots; ++u) {
-      for (NodeId v : graph_.neighbors(u)) {
+      for (NodeId v : graph.neighbors(u)) {
         (is_internal(u, v) ? coff : boff)[u + 1]++;
       }
     }
@@ -365,32 +475,32 @@ class Driver {
     std::vector<EdgeId> ccur(coff.begin(), coff.end() - 1);
     std::vector<EdgeId> bcur(boff.begin(), boff.end() - 1);
     for (NodeId u = 0; u < slots; ++u) {
-      const auto nbrs = graph_.neighbors(u);
+      const auto nbrs = graph.neighbors(u);
       for (std::size_t i = 0; i < nbrs.size(); ++i) {
         const NodeId v = nbrs[i];
         if (is_internal(u, v)) {
           ctargets[ccur[u]] = v;
-          if (weighted) cweights[ccur[u]] = graph_.edge_weights(u)[i];
+          if (weighted) cweights[ccur[u]] = graph.edge_weights(u)[i];
           ++ccur[u];
         } else {
           btargets[bcur[u]] = v;
-          if (weighted) bweights[bcur[u]] = graph_.edge_weights(u)[i];
+          if (weighted) bweights[bcur[u]] = graph.edge_weights(u)[i];
           ++bcur[u];
         }
       }
     }
-    std::vector<std::uint8_t> holes(graph_.holes().begin(),
-                                    graph_.holes().end());
-    cluster_graph_ = Csr(std::move(coff), std::move(ctargets),
-                         std::move(cweights), holes);
-    boundary_graph_ = Csr(std::move(boff), std::move(btargets),
-                          std::move(bweights), std::move(holes));
-    cluster_engine_.emplace(cluster_graph_, config_.sim);
-    cluster_items_.resize(schedule.clusters.size());
+    std::vector<std::uint8_t> holes(graph.holes().begin(),
+                                    graph.holes().end());
+    layout.has_clusters = true;
+    layout.cluster_graph = Csr(std::move(coff), std::move(ctargets),
+                               std::move(cweights), holes);
+    layout.boundary_graph = Csr(std::move(boff), std::move(btargets),
+                                std::move(bweights), std::move(holes));
+    layout.cluster_items.resize(schedule.clusters.size());
     for (std::size_t c = 0; c < schedule.clusters.size(); ++c) {
       for (NodeId m : schedule.clusters[c].members) {
-        cluster_items_[c].push_back(
-            {m, cluster_graph_.edge_begin(m), cluster_graph_.degree(m)});
+        layout.cluster_items[c].push_back({m, layout.cluster_graph.edge_begin(m),
+                                           layout.cluster_graph.degree(m)});
       }
     }
   }
@@ -399,19 +509,22 @@ class Driver {
   const RunConfig& config_;
   std::optional<Engine> engine_;
   std::unique_ptr<Strategy> strategy_;
-  std::vector<NodeId> order_;
-  std::vector<NodeId> pos_;
+  std::shared_ptr<const Layout> layout_;
   std::vector<WorkItem> work_;
   SweepOptions opts_;
   KernelStats stats_;
   std::uint64_t primary_items_ = 0;
   std::uint64_t primary_launches_ = 0;
 
-  Csr cluster_graph_;
-  Csr boundary_graph_;
   std::optional<Engine> cluster_engine_;
-  std::vector<std::vector<WorkItem>> cluster_items_;
   std::vector<WorkItem> cluster_work_;
+
+  // order_active() scratch: duplicate counts + touched-position bitmap,
+  // both epoch-stamped so no per-sweep clearing is needed.
+  std::vector<std::uint32_t> pos_count_;
+  std::vector<std::uint64_t> pos_epoch_;
+  std::vector<std::uint64_t> pos_word_;
+  std::uint64_t pos_gen_ = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -660,45 +773,58 @@ RunOutput run_bc(const Csr& graph, const RunConfig& config) {
     sources = sample_bc_sources(graph, config.bc_sample_count, config.seed);
   }
 
-  std::vector<NodeId> level(slots);
-  std::vector<double> sigma(slots), delta(slots);
-  std::vector<std::vector<NodeId>> by_level;
-
-  // Algorithm-aware confluence for BC (the §2.4 option the paper notes
-  // gives better accuracy): a replica has no in-edges, so its logical
-  // level and path count are its primary's — copy them after each
-  // forward sweep so the edges moved onto the replica keep propagating.
-  // Newly leveled replicas are handed back so data-driven frontiers can
-  // schedule them.
-  const ReplicaMap* replicas = config.replicas;
-  auto sync_replicas_forward = [&](NodeId frontier_depth,
-                                   std::vector<NodeId>* discovered) {
-    if (replicas == nullptr || replicas->empty()) return;
-    std::uint64_t touched = 0;
-    for (const auto& group : replicas->groups) {
-      const NodeId primary = group[0];
-      touched += group.size();
-      if (level[primary] == kInvalidNode) continue;
-      for (std::size_t i = 1; i < group.size(); ++i) {
-        const NodeId replica = group[i];
-        if (level[replica] == kInvalidNode) {
-          level[replica] = level[primary];
-          if (discovered != nullptr && level[replica] == frontier_depth) {
-            discovered->push_back(replica);
-          }
-        }
-        sigma[replica] = sigma[primary];
-      }
-    }
-    driver.charge_stream(touched, 2.0);
+  // Each Brandes pass owns its level/sigma/delta arrays and runs on a
+  // forked driver sharing the base driver's layout, so sources are
+  // independent and can run concurrently. Every pass fills a full-size
+  // contribution vector; bc sums, stats, primary-sweep counters, and the
+  // cumulative trace are folded back in source order afterwards, which
+  // makes the output bit-identical at any thread count — and identical
+  // to the old single-driver serial loop, whose per-source counter
+  // increments these sums merely regroup (DESIGN.md §7).
+  struct SourceResult {
+    std::vector<double> contrib;
+    KernelStats stats;
+    std::uint64_t primary_items = 0;
+    std::uint64_t primary_launches = 0;
   };
 
-  for (NodeId source : sources) {
-    ++out.iterations;
-    std::fill(level.begin(), level.end(), kInvalidNode);
-    std::fill(sigma.begin(), sigma.end(), 0.0);
-    std::fill(delta.begin(), delta.end(), 0.0);
-    driver.charge_stream(slots, 3.0);  // per-source attribute reset
+  const ReplicaMap* replicas = config.replicas;
+
+  auto run_source = [&](NodeId source, SourceResult& res) {
+    Driver drv(graph, config, /*uses_weights=*/false, driver.layout());
+    std::vector<NodeId> level(slots, kInvalidNode);
+    std::vector<double> sigma(slots, 0.0), delta(slots, 0.0);
+    std::vector<std::vector<NodeId>> by_level;
+    drv.charge_stream(slots, 3.0);  // per-source attribute reset
+
+    // Algorithm-aware confluence for BC (the §2.4 option the paper notes
+    // gives better accuracy): a replica has no in-edges, so its logical
+    // level and path count are its primary's — copy them after each
+    // forward sweep so the edges moved onto the replica keep propagating.
+    // Newly leveled replicas are handed back so data-driven frontiers can
+    // schedule them.
+    auto sync_replicas_forward = [&](NodeId frontier_depth,
+                                     std::vector<NodeId>* discovered) {
+      if (replicas == nullptr || replicas->empty()) return;
+      std::uint64_t touched = 0;
+      for (const auto& group : replicas->groups) {
+        const NodeId primary = group[0];
+        touched += group.size();
+        if (level[primary] == kInvalidNode) continue;
+        for (std::size_t i = 1; i < group.size(); ++i) {
+          const NodeId replica = group[i];
+          if (level[replica] == kInvalidNode) {
+            level[replica] = level[primary];
+            if (discovered != nullptr && level[replica] == frontier_depth) {
+              discovered->push_back(replica);
+            }
+          }
+          sigma[replica] = sigma[primary];
+        }
+      }
+      drv.charge_stream(touched, 2.0);
+    };
+
     by_level.assign(1, {source});
     level[source] = 0;
     sigma[source] = 1.0;
@@ -723,12 +849,12 @@ RunOutput run_bc(const Csr& graph, const RunConfig& config) {
         }
         return false;
       };
-      if (driver.data_driven()) {
+      if (drv.data_driven()) {
         std::vector<NodeId> frontier = by_level[depth];
-        driver.sweep(frontier, forward);
+        drv.sweep(frontier, forward);
       } else {
-        driver.sweep_all_gated(
-            [&](NodeId u) { return level[u] == depth; }, forward);
+        drv.sweep_all_gated([&](NodeId u) { return level[u] == depth; },
+                            forward);
       }
       if (next_frontier.empty()) break;
       ++depth;
@@ -745,12 +871,12 @@ RunOutput run_bc(const Csr& graph, const RunConfig& config) {
         }
         return false;
       };
-      if (driver.data_driven()) {
+      if (drv.data_driven()) {
         std::vector<NodeId> frontier = by_level[d];
-        driver.sweep(frontier, backward);
+        drv.sweep(frontier, backward);
       } else {
-        driver.sweep_all_gated([&](NodeId u) { return level[u] == d; },
-                               backward);
+        drv.sweep_all_gated([&](NodeId u) { return level[u] == d; },
+                            backward);
       }
     }
     // Copies of a node accumulate dependency through disjoint out-edge
@@ -765,13 +891,43 @@ RunOutput run_bc(const Csr& graph, const RunConfig& config) {
           delta[group[i]] = 0.0;
         }
       }
-      driver.charge_stream(touched, 2.0);
+      drv.charge_stream(touched, 2.0);
     }
+    res.contrib.assign(slots, 0.0);
     for (NodeId s = 0; s < slots; ++s) {
-      if (s != source && level[s] != kInvalidNode) bc[s] += delta[s];
+      if (s != source && level[s] != kInvalidNode) res.contrib[s] = delta[s];
     }
-    driver.charge_stream(slots);  // bc accumulation
-    if (config.collect_trace) out.trace.push_back({out.iterations, driver.stats()});
+    drv.charge_stream(slots);  // bc accumulation
+    res.stats = drv.stats();
+    res.primary_items = drv.primary_items();
+    res.primary_launches = drv.primary_launches();
+  };
+
+  // One fork per source even on one thread: a single code path cannot
+  // drift between thread counts. Nested callers (the bench matrix) keep
+  // the source loop serial — the inner engine shards then.
+  std::vector<SourceResult> results(sources.size());
+  if (sources.size() > 1 && num_threads() > 1 && !in_parallel()) {
+    parallel_for_dynamic(
+        std::size_t{0}, results.size(),
+        [&](std::size_t k) { run_source(sources[k], results[k]); },
+        /*grain=*/1);
+  } else {
+    for (std::size_t k = 0; k < results.size(); ++k) {
+      run_source(sources[k], results[k]);
+    }
+  }
+
+  // Ordered reduction: contributions are added in source order (fixed FP
+  // accumulation order), counters in source order (integer sums).
+  for (std::size_t k = 0; k < results.size(); ++k) {
+    ++out.iterations;
+    const SourceResult& res = results[k];
+    driver.absorb(res.stats, res.primary_items, res.primary_launches);
+    for (NodeId s = 0; s < slots; ++s) bc[s] += res.contrib[s];
+    if (config.collect_trace) {
+      out.trace.push_back({out.iterations, driver.stats()});
+    }
   }
 
   out.stats = driver.stats();

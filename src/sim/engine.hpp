@@ -7,8 +7,35 @@
 // lanes' edge-array and node-attribute byte addresses into
 // transaction_bytes segments (coalescing), and invokes the caller's edge
 // functor, which performs the *functional* update and reports whether it
-// committed (atomic traffic). The engine is single-threaded and fully
-// deterministic: identical inputs give identical stats and results.
+// committed (atomic traffic).
+//
+// A sweep runs in two phases (DESIGN.md §7):
+//
+//   Phase A (accounting) — gate evaluation plus all memory accounting
+//   (divergence, edge/attr transactions, shared hits, bank conflicts).
+//   Lane destinations are topology-only, so warp blocks are independent
+//   here and the phase shards contiguous block ranges across threads;
+//   each chunk accumulates into its own KernelStats, reduced in chunk
+//   (= warp block) order. All counters are integer sums, so the totals
+//   are bit-identical at any thread count.
+//
+//   Phase B (functional) — replays warps serially in warp/lane order and
+//   invokes the caller's functor. Functors may read state written by
+//   earlier commits of the same sweep (Bellman-Ford-style propagation),
+//   so this phase never runs in parallel: atomic_commits/atomic_conflicts
+//   and all functional state match the fully serial engine exactly.
+//
+// Contract for gates: a gate must be *sweep-stable* — its value for any
+// source may not depend on commits made by this sweep's functor, because
+// Phase A evaluates every gate before Phase B runs any fn(). All in-repo
+// gates qualify (SSSP gates on a snapshot, BC's level==depth can never be
+// produced by a same-sweep write of depth+1, SCC flags are not written
+// mid-propagation); the determinism tests pin this. Gates and functors
+// must tolerate concurrent *gate* invocation from worker threads.
+//
+// Identical inputs give identical stats and results at every thread
+// count, including 1. A single Engine instance is not thread-safe; use
+// one engine per thread of control (forked drivers each own one).
 //
 // This is the substitution substrate for the paper's K40c — see DESIGN.md.
 #pragma once
@@ -23,6 +50,7 @@
 #include "sim/stats.hpp"
 #include "sim/work.hpp"
 #include "util/macros.hpp"
+#include "util/parallel.hpp"
 
 namespace graffix::sim {
 
@@ -42,6 +70,61 @@ struct SweepOptions {
   /// Whether this sweep is its own kernel launch. Cluster inner
   /// iterations run inside one launch and set this to false.
   bool charge_launch = true;
+};
+
+/// Per-chunk accounting scratch. Bank words and the distinct-segment set
+/// are epoch-stamped: bumping `epoch` invalidates every entry in O(1)
+/// instead of refilling shared_banks words each warp step. The segment
+/// set is a small open-addressed hash table (capacity >= 4*warp_size, a
+/// power of two, so it can never fill from <= warp_size inserts per
+/// step), replacing the previous O(warp_size) linear scan per insert.
+struct SweepScratch {
+  std::vector<std::uint64_t> lane_edge_seg;
+  std::vector<NodeId> lane_res;  // per-lane source residency cluster
+  std::vector<NodeId> bank_word;
+  std::vector<std::uint64_t> bank_epoch;
+  std::vector<std::uint64_t> seg_key;
+  std::vector<std::uint64_t> seg_epoch;
+  std::uint64_t epoch = 0;
+  std::uint32_t seg_mask = 0;
+
+  void ensure(std::uint32_t warp_size, std::uint32_t banks) {
+    if (lane_edge_seg.size() != warp_size) {
+      lane_edge_seg.assign(warp_size, ~std::uint64_t{0});
+      lane_res.assign(warp_size, kInvalidNode);
+    }
+    if (bank_word.size() != banks) {
+      bank_word.assign(banks, kInvalidNode);
+      bank_epoch.assign(banks, 0);
+      epoch = 0;
+    }
+    std::uint32_t cap = 4;
+    while (cap < 4 * warp_size) cap *= 2;
+    if (seg_key.size() != cap) {
+      seg_key.assign(cap, 0);
+      seg_epoch.assign(cap, 0);
+      seg_mask = cap - 1;
+      epoch = 0;
+    }
+  }
+
+  /// Returns 1 if `seg` is new this epoch, 0 if already present. Stamps
+  /// start at 0 and `epoch` is pre-incremented per step, so zero-filled
+  /// tables are never falsely valid.
+  std::uint32_t insert_attr_seg(std::uint64_t seg) {
+    std::uint64_t h = seg * 0x9e3779b97f4a7c15ull;
+    h ^= h >> 29;
+    std::uint32_t slot = static_cast<std::uint32_t>(h) & seg_mask;
+    while (true) {
+      if (seg_epoch[slot] != epoch) {
+        seg_epoch[slot] = epoch;
+        seg_key[slot] = seg;
+        return 1;
+      }
+      if (seg_key[slot] == seg) return 0;
+      slot = (slot + 1) & seg_mask;
+    }
+  }
 };
 
 class Engine {
@@ -73,121 +156,171 @@ class Engine {
   /// thread divergence — but issue no memory traffic), exactly like a
   /// kernel thread that loads its vertex's state, finds nothing to do,
   /// and falls through. The gate's own coalesced state load is charged
-  /// by the caller as a uniform kernel.
+  /// by the caller as a uniform kernel. Gates must be sweep-stable; see
+  /// the file comment.
   template <typename Gate, typename EdgeFn>
   void sweep_gated(std::span<const WorkItem> items, const SweepOptions& opts,
                    Gate&& gate, EdgeFn&& fn, KernelStats& stats) {
     if (opts.charge_launch) stats.sweeps += 1;
+    if (items.empty()) return;
     const std::uint32_t ws = config_.warp_size;
-    const auto offsets = graph_->offsets();
-    (void)offsets;
+    const std::size_t n_blocks = (items.size() + ws - 1) / ws;
     const auto targets = graph_->targets();
-    const auto weights = graph_->weights();
     const std::uint64_t seg_bytes = config_.transaction_bytes;
 
-    // Scratch reused across warps.
+    // ---- Phase A: gate evaluation + memory accounting -------------------
+    gate_bits_.assign(n_blocks, 0);
+    std::size_t n_chunks = 1;
+    if (n_blocks >= kMinBlocksToShard && num_threads() > 1 && !in_parallel()) {
+      n_chunks =
+          std::min(n_blocks, static_cast<std::size_t>(num_threads()) * 4);
+    }
+    if (scratch_.size() < n_chunks) scratch_.resize(n_chunks);
+    chunk_stats_.assign(n_chunks, KernelStats{});
+    const std::size_t blocks_per = n_blocks / n_chunks;
+    const std::size_t blocks_rem = n_blocks % n_chunks;
+    auto chunk_begin = [&](std::size_t c) {
+      return c * blocks_per + std::min(c, blocks_rem);
+    };
+
+    auto account = [&](std::size_t c) {
+      SweepScratch& sc = scratch_[c];
+      sc.ensure(ws, config_.shared_banks);
+      KernelStats& st = chunk_stats_[c];
+      const bool csr_mode = opts.edge_mode == EdgeLoadMode::Csr;
+      const bool ideal_mode = opts.edge_mode == EdgeLoadMode::IdealWarpPacked;
+      const bool shared_attr = opts.attr_space == AttrSpace::Shared;
+      const bool have_resident = !opts.resident.empty();
+      const std::uint64_t edge_bytes = config_.edge_bytes;
+      const std::uint64_t attr_bytes = config_.attr_bytes;
+      const std::uint32_t banks = config_.shared_banks;
+      const std::size_t block_end = chunk_begin(c + 1);
+      for (std::size_t b = chunk_begin(c); b < block_end; ++b) {
+        const std::size_t base = b * ws;
+        const std::uint32_t lanes = static_cast<std::uint32_t>(
+            std::min<std::size_t>(ws, items.size() - base));
+        // Warp runs until its longest gated-in item is exhausted (thread
+        // divergence: shorter and gated-out lanes idle).
+        std::uint64_t bits = 0;
+        NodeId max_len = 0;
+        for (std::uint32_t l = 0; l < lanes; ++l) {
+          const WorkItem& item = items[base + l];
+          if (!gate(item.src)) continue;
+          bits |= std::uint64_t{1} << l;
+          max_len = std::max(max_len, item.edge_count);
+          // Source-side residency is invariant across the item's edges:
+          // fetch it once per lane instead of once per edge.
+          sc.lane_res[l] =
+              have_resident ? opts.resident[item.src] : kInvalidNode;
+        }
+        gate_bits_[b] = bits;
+        if (max_len == 0) continue;
+        std::fill_n(sc.lane_edge_seg.begin(), lanes, ~std::uint64_t{0});
+        for (NodeId j = 0; j < max_len; ++j) {
+          st.warp_steps += 1;
+          st.lane_slots += ws;
+          sc.epoch += 1;  // invalidates the bank + segment scratch in O(1)
+          std::uint32_t active = 0;
+          std::uint32_t edge_segs = 0;
+          std::uint32_t attr_segs = 0;
+          std::uint32_t shared_hits = 0;
+          for (std::uint32_t l = 0; l < lanes; ++l) {
+            const WorkItem& item = items[base + l];
+            if (!((bits >> l) & 1) || j >= item.edge_count) continue;
+            ++active;
+            const EdgeId e = item.edge_begin + j;
+            const NodeId v = targets[e];
+            if (csr_mode) {
+              // A lane streams its adjacency sequentially: consecutive
+              // positions share a 32B sector and hit in cache, so a lane
+              // only pays when it crosses into a new sector.
+              const std::uint64_t seg = (e * edge_bytes) / seg_bytes;
+              if (seg != sc.lane_edge_seg[l]) {
+                sc.lane_edge_seg[l] = seg;
+                ++edge_segs;
+              }
+            }
+            const bool resident_pair = sc.lane_res[l] != kInvalidNode &&
+                                       sc.lane_res[l] == opts.resident[v];
+            if (shared_attr || resident_pair) {
+              ++shared_hits;
+              // Bank-conflict bookkeeping: lanes hitting different words
+              // in the same bank serialize; same-word hits broadcast for
+              // free.
+              const std::uint32_t bank = v % banks;
+              if (sc.bank_epoch[bank] == sc.epoch && sc.bank_word[bank] != v) {
+                st.bank_conflicts += 1;
+              }
+              sc.bank_word[bank] = v;
+              sc.bank_epoch[bank] = sc.epoch;
+            } else {
+              attr_segs += sc.insert_attr_seg((v * attr_bytes) / seg_bytes);
+            }
+          }
+          if (ideal_mode && active > 0) edge_segs = 1;
+          if (opts.weighted) edge_segs *= 2;  // parallel weights stream
+          if (opts.edges_resident) {
+            st.shared_accesses += active;
+            edge_segs = 0;
+          }
+          st.active_lanes += active;
+          st.edge_transactions += edge_segs;
+          st.attr_transactions += attr_segs;
+          st.shared_accesses += shared_hits;
+          // Lower bound: `active` gathers of attr_bytes each, fully packed.
+          const std::uint64_t global_attr = active - shared_hits;
+          st.attr_ideal_transactions +=
+              (global_attr * attr_bytes + seg_bytes - 1) / seg_bytes;
+        }
+      }
+    };
+
+    if (n_chunks == 1) {
+      account(0);
+    } else {
+      parallel_for_dynamic(std::size_t{0}, n_chunks, account, /*grain=*/1);
+    }
+    // Chunks cover ascending block ranges; reducing in chunk order keeps
+    // the accumulation order identical to the serial engine (the counters
+    // are integer sums, so this is belt-and-braces).
+    for (std::size_t c = 0; c < n_chunks; ++c) stats += chunk_stats_[c];
+
+    // ---- Phase B: functional phase + atomic accounting ------------------
+    // Always serial, in warp/lane order. Conflicts: lanes of the same
+    // step committing to the same destination serialize.
+    const auto weights = graph_->weights();
+    const bool has_weights = !weights.empty();
     lane_dst_.resize(ws);
     lane_active_.resize(ws);
-    seg_scratch_.resize(2 * ws);
-
-    lane_gated_.resize(ws);
-    lane_edge_seg_.resize(ws);
-    bank_word_.resize(config_.shared_banks);
-    for (std::size_t base = 0; base < items.size(); base += ws) {
-      std::fill(lane_edge_seg_.begin(), lane_edge_seg_.end(),
-                ~std::uint64_t{0});
-      const std::uint32_t lanes =
-          static_cast<std::uint32_t>(std::min<std::size_t>(ws, items.size() - base));
-      // Warp runs until its longest gated-in item is exhausted (thread
-      // divergence: shorter and gated-out lanes idle).
+    for (std::size_t b = 0; b < n_blocks; ++b) {
+      const std::uint64_t bits = gate_bits_[b];
+      if (bits == 0) continue;
+      const std::size_t base = b * ws;
+      const std::uint32_t lanes = static_cast<std::uint32_t>(
+          std::min<std::size_t>(ws, items.size() - base));
       NodeId max_len = 0;
       for (std::uint32_t l = 0; l < lanes; ++l) {
-        lane_gated_[l] = gate(items[base + l].src) ? 1 : 0;
-        if (lane_gated_[l]) {
+        if ((bits >> l) & 1) {
           max_len = std::max(max_len, items[base + l].edge_count);
         }
       }
       for (NodeId j = 0; j < max_len; ++j) {
-        stats.warp_steps += 1;
-        stats.lane_slots += ws;
-        std::uint32_t active = 0;
-        std::uint32_t edge_segs = 0;
-        std::uint32_t attr_segs = 0;
-        std::uint32_t shared_hits = 0;
-        seg_fill_[0] = seg_fill_[1] = 0;
-        std::fill(bank_word_.begin(), bank_word_.end(), kInvalidNode);
-
+        std::uint32_t commits = 0;
         for (std::uint32_t l = 0; l < lanes; ++l) {
           const WorkItem& item = items[base + l];
-          if (!lane_gated_[l] || j >= item.edge_count) {
+          if (!((bits >> l) & 1) || j >= item.edge_count) {
             lane_active_[l] = 0;
             continue;
           }
           lane_active_[l] = 1;
-          ++active;
           const EdgeId e = item.edge_begin + j;
           const NodeId v = targets[e];
           lane_dst_[l] = v;
-          if (opts.edge_mode == EdgeLoadMode::Csr) {
-            // A lane streams its adjacency sequentially: consecutive
-            // positions share a 32B sector and hit in cache, so a lane
-            // only pays when it crosses into a new sector.
-            const std::uint64_t seg = (e * config_.edge_bytes) / seg_bytes;
-            if (seg != lane_edge_seg_[l]) {
-              lane_edge_seg_[l] = seg;
-              ++edge_segs;
-            }
-          }
-          const bool resident_pair =
-              !opts.resident.empty() &&
-              opts.resident[item.src] != kInvalidNode &&
-              opts.resident[item.src] == opts.resident[v];
-          if (opts.attr_space == AttrSpace::Shared || resident_pair) {
-            ++shared_hits;
-            // Bank-conflict bookkeeping: lanes hitting different words in
-            // the same bank serialize; same-word hits broadcast for free.
-            const std::uint32_t bank = v % config_.shared_banks;
-            if (bank_word_[bank] != kInvalidNode && bank_word_[bank] != v) {
-              stats.bank_conflicts += 1;
-            }
-            bank_word_[bank] = v;
-          } else {
-            attr_segs += insert_segment(
-                (static_cast<std::uint64_t>(v) * config_.attr_bytes) / seg_bytes,
-                /*stream=*/1);
-          }
-        }
-
-        if (opts.edge_mode == EdgeLoadMode::IdealWarpPacked && active > 0) {
-          edge_segs = 1;
-        }
-        if (opts.weighted) edge_segs *= 2;  // parallel weights stream
-        if (opts.edges_resident) {
-          stats.shared_accesses += active;
-          edge_segs = 0;
-        }
-
-        stats.active_lanes += active;
-        stats.edge_transactions += edge_segs;
-        stats.attr_transactions += attr_segs;
-        stats.shared_accesses += shared_hits;
-        // Lower bound: `active` gathers of attr_bytes each, fully packed.
-        const std::uint64_t global_attr = active - shared_hits;
-        stats.attr_ideal_transactions +=
-            (global_attr * config_.attr_bytes + seg_bytes - 1) / seg_bytes;
-
-        // Functional phase + atomic accounting. Conflicts: lanes of the
-        // same step committing to the same destination serialize.
-        std::uint32_t commits = 0;
-        for (std::uint32_t l = 0; l < lanes; ++l) {
-          if (!lane_active_[l]) continue;
-          const WorkItem& item = items[base + l];
-          const EdgeId e = item.edge_begin + j;
-          const Weight w = weights.empty() ? Weight{1} : weights[e];
-          if (fn(item.src, lane_dst_[l], w)) {
+          const Weight w = has_weights ? weights[e] : Weight{1};
+          if (fn(item.src, v, w)) {
             ++commits;
             for (std::uint32_t p = 0; p < l; ++p) {
-              if (lane_active_[p] && lane_dst_[p] == lane_dst_[l]) {
+              if (lane_active_[p] && lane_dst_[p] == v) {
                 stats.atomic_conflicts += 1;
                 break;
               }
@@ -205,28 +338,17 @@ class Engine {
                              KernelStats& stats) const;
 
  private:
-  // Distinct-segment insertion using two tiny per-step scratch sets
-  // (stream 0 = edges array, 1 = attributes). Returns 1 if new.
-  std::uint32_t insert_segment(std::uint64_t seg, std::uint32_t stream) {
-    const std::uint32_t lo = stream * config_.warp_size;
-    const std::uint32_t hi = lo + seg_fill_[stream];
-    for (std::uint32_t i = lo; i < hi; ++i) {
-      if (seg_scratch_[i] == seg) return 0;
-    }
-    seg_scratch_[hi] = seg;
-    ++seg_fill_[stream];
-    return 1;
-  }
+  /// Below this many warp blocks the fork/join cost outweighs the
+  /// accounting work and the sweep stays on one chunk.
+  static constexpr std::size_t kMinBlocksToShard = 32;
 
   const Csr* graph_;
   SimConfig config_;
   std::vector<NodeId> lane_dst_;
   std::vector<std::uint8_t> lane_active_;
-  std::vector<std::uint8_t> lane_gated_;
-  std::vector<std::uint64_t> lane_edge_seg_;
-  std::vector<NodeId> bank_word_;
-  std::vector<std::uint64_t> seg_scratch_;
-  std::uint32_t seg_fill_[2] = {0, 0};
+  std::vector<std::uint64_t> gate_bits_;  // one gate bitmask per warp block
+  std::vector<KernelStats> chunk_stats_;
+  std::vector<SweepScratch> scratch_;
 };
 
 /// Builds one WorkItem per listed slot covering its whole adjacency.

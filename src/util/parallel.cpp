@@ -22,4 +22,6 @@ void set_num_threads(int n) {
   omp_set_num_threads(n > 0 ? n : g_default_threads);
 }
 
+bool in_parallel() { return omp_in_parallel() != 0; }
+
 }  // namespace graffix

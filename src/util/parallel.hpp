@@ -22,6 +22,13 @@ int num_threads();
 /// determinism-sensitive paths.
 void set_num_threads(int n);
 
+/// True when called from inside an active OpenMP parallel region. Nested
+/// helpers use this to stay serial instead of oversubscribing: inner
+/// regions get single-thread teams by default, but skipping the region
+/// entirely avoids the fork/join overhead on hot paths (the SIMT engine
+/// checks this when its sweeps run under a source-parallel caller).
+bool in_parallel();
+
 /// parallel_for over [begin, end) with static scheduling. The body must be
 /// safe to run concurrently for distinct indices.
 template <typename Index, typename Body>

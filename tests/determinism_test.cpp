@@ -12,10 +12,12 @@
 #include <span>
 #include <vector>
 
+#include "core/runners.hpp"
 #include "gen/suite.hpp"
 #include "graph/builder.hpp"
 #include "graph/csr.hpp"
 #include "graph/rebuild.hpp"
+#include "sim/engine.hpp"
 #include "transform/coalescing.hpp"
 #include "transform/combined.hpp"
 #include "transform/confluence.hpp"
@@ -279,6 +281,182 @@ TEST(TransformDeterminism, CombinedBitIdentical) {
     EXPECT_EQ(ref.replicas.groups, got.replicas.groups);
     EXPECT_EQ(ref.schedule.resident, got.schedule.resident);
     EXPECT_EQ(ref.edges_added, got.edges_added);
+  }
+}
+
+// --- lockstep engine -------------------------------------------------
+
+/// One gated Bellman-Ford-style sweep sequence over `items`: the functor
+/// is order-sensitive (it reads distances written by earlier lanes of
+/// the same sweep), so any accidental parallelism in the functional
+/// phase would change both the attribute vector and the atomic counters.
+struct EngineRun {
+  sim::KernelStats stats;
+  std::vector<double> dist;
+};
+
+/// Maximum-out-degree node: a source that definitely reaches work.
+NodeId busiest_node(const Csr& graph) {
+  NodeId best = 0, best_degree = 0;
+  for (NodeId v = 0; v < graph.num_slots(); ++v) {
+    if (!graph.is_hole(v) && graph.degree(v) > best_degree) {
+      best = v;
+      best_degree = graph.degree(v);
+    }
+  }
+  return best;
+}
+
+EngineRun run_engine_sweeps(const Csr& graph, std::span<const sim::WorkItem> items,
+                            NodeId source, int sweeps) {
+  EngineRun r;
+  sim::Engine engine(graph, sim::SimConfig{});
+  sim::SweepOptions opts;
+  opts.weighted = graph.has_weights();
+  r.dist.assign(graph.num_slots(), std::numeric_limits<double>::infinity());
+  r.dist[source] = 0.0;
+  for (int s = 0; s < sweeps; ++s) {
+    engine.sweep_gated(
+        items, opts,
+        [&](NodeId u) { return r.dist[u] != std::numeric_limits<double>::infinity(); },
+        [&](NodeId u, NodeId v, Weight w) {
+          const double nd = r.dist[u] + static_cast<double>(w);
+          if (nd < r.dist[v]) {
+            r.dist[v] = nd;
+            return true;
+          }
+          return false;
+        },
+        r.stats);
+  }
+  return r;
+}
+
+TEST(EngineDeterminism, GoldenStatsAcrossThreadCounts) {
+  // Scale 11 -> 64 warp blocks of 32 items: comfortably above the
+  // kMinBlocksToShard threshold, so t > 1 actually shards Phase A.
+  const Csr g = make_preset(GraphPreset::Rmat26, 11, 13);
+  const auto items = sim::items_all_vertices(g);
+  ASSERT_GE(items.size() / sim::SimConfig{}.warp_size, std::size_t{32});
+  const NodeId source = busiest_node(g);
+
+  const EngineRun ref =
+      at_threads(1, [&] { return run_engine_sweeps(g, items, source, 4); });
+  // The serial run must do real work for the comparison to mean anything.
+  EXPECT_GT(ref.stats.warp_steps, 0u);
+  EXPECT_GT(ref.stats.atomic_commits, 0u);
+  EXPECT_GT(ref.stats.edge_transactions, 0u);
+  for (int t : {2, 8}) {
+    const EngineRun got =
+        at_threads(t, [&] { return run_engine_sweeps(g, items, source, 4); });
+    EXPECT_EQ(got.stats, ref.stats) << "threads=" << t;
+    ASSERT_EQ(got.dist.size(), ref.dist.size());
+    EXPECT_EQ(std::memcmp(got.dist.data(), ref.dist.data(),
+                          got.dist.size() * sizeof(double)),
+              0)
+        << "threads=" << t << ": attribute bits differ";
+  }
+}
+
+TEST(EngineDeterminism, TailWarpWithPartialLanes) {
+  // Drop a few trailing items so the last warp block has fewer than
+  // warp_size lanes — the sharded accounting phase must charge the
+  // partial block exactly like the serial engine does.
+  const Csr g = make_preset(GraphPreset::Rmat26, 11, 13);
+  const auto all = sim::items_all_vertices(g);
+  const std::uint32_t ws = sim::SimConfig{}.warp_size;
+  const std::span<const sim::WorkItem> items(all.data(), all.size() - 3);
+  ASSERT_NE(items.size() % ws, 0u);  // the tail warp is genuinely partial
+  ASSERT_GE(items.size() / ws, std::size_t{32});
+  const NodeId source = busiest_node(g);
+
+  const EngineRun ref =
+      at_threads(1, [&] { return run_engine_sweeps(g, items, source, 3); });
+  EXPECT_GT(ref.stats.atomic_commits, 0u);
+  for (int t : {2, 8}) {
+    const EngineRun got =
+        at_threads(t, [&] { return run_engine_sweeps(g, items, source, 3); });
+    EXPECT_EQ(got.stats, ref.stats) << "threads=" << t;
+    EXPECT_EQ(std::memcmp(got.dist.data(), ref.dist.data(),
+                          got.dist.size() * sizeof(double)),
+              0)
+        << "threads=" << t;
+  }
+}
+
+// --- algorithm runners -----------------------------------------------
+
+/// Full runner outputs (attr + stats + modeled seconds) must be
+/// bit-identical at every thread count. BC additionally exercises the
+/// source-parallel fork/absorb path.
+void expect_run_identical(core::Algorithm alg, const Csr& graph,
+                          const core::RunConfig& rc) {
+  const core::RunOutput ref =
+      at_threads(1, [&] { return core::run_algorithm(alg, graph, rc); });
+  for (int t : {2, 8}) {
+    const core::RunOutput got =
+        at_threads(t, [&] { return core::run_algorithm(alg, graph, rc); });
+    EXPECT_EQ(got.stats, ref.stats)
+        << core::algorithm_name(alg) << " threads=" << t;
+    EXPECT_EQ(got.sim_seconds, ref.sim_seconds)
+        << core::algorithm_name(alg) << " threads=" << t;
+    EXPECT_EQ(got.iterations, ref.iterations)
+        << core::algorithm_name(alg) << " threads=" << t;
+    ASSERT_EQ(got.attr.size(), ref.attr.size());
+    if (!ref.attr.empty()) {
+      EXPECT_EQ(std::memcmp(got.attr.data(), ref.attr.data(),
+                            got.attr.size() * sizeof(double)),
+                0)
+          << core::algorithm_name(alg) << " threads=" << t
+          << ": attribute bits differ";
+    }
+    EXPECT_EQ(got.scalar, ref.scalar)
+        << core::algorithm_name(alg) << " threads=" << t;
+  }
+}
+
+TEST(RunnerDeterminism, SsspBitIdenticalAcrossThreadCounts) {
+  const Csr g = make_preset(GraphPreset::Rmat26, 10, 21);
+  core::RunConfig rc;
+  rc.seed = 21;
+  expect_run_identical(core::Algorithm::SSSP, g, rc);
+}
+
+TEST(RunnerDeterminism, PageRankBitIdenticalAcrossThreadCounts) {
+  const Csr g = make_preset(GraphPreset::Rmat26, 10, 21);
+  core::RunConfig rc;
+  rc.seed = 21;
+  expect_run_identical(core::Algorithm::PR, g, rc);
+}
+
+TEST(RunnerDeterminism, BcSourceParallelBitIdentical) {
+  const Csr g = make_preset(GraphPreset::Rmat26, 10, 21);
+  core::RunConfig rc;
+  rc.seed = 21;
+  rc.bc_sample_count = 5;  // > 1 source engages the parallel source loop
+  expect_run_identical(core::Algorithm::BC, g, rc);
+}
+
+TEST(RunnerDeterminism, BcTraceMatchesSerialCumulativeStats) {
+  // The per-iteration trace is rebuilt by absorbing fork stats in source
+  // order; it must equal the serial engine's cumulative trace exactly.
+  const Csr g = make_preset(GraphPreset::Rmat26, 10, 33);
+  core::RunConfig rc;
+  rc.seed = 33;
+  rc.bc_sample_count = 4;
+  rc.collect_trace = true;
+  const core::RunOutput ref =
+      at_threads(1, [&] { return core::run_algorithm(core::Algorithm::BC, g, rc); });
+  ASSERT_EQ(ref.trace.size(), std::size_t{4});
+  for (int t : {2, 8}) {
+    const core::RunOutput got = at_threads(
+        t, [&] { return core::run_algorithm(core::Algorithm::BC, g, rc); });
+    ASSERT_EQ(got.trace.size(), ref.trace.size()) << "threads=" << t;
+    for (std::size_t i = 0; i < ref.trace.size(); ++i) {
+      EXPECT_EQ(got.trace[i].iteration, ref.trace[i].iteration);
+      EXPECT_EQ(got.trace[i].stats, ref.trace[i].stats)
+          << "threads=" << t << " trace point " << i;
+    }
   }
 }
 
