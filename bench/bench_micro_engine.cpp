@@ -8,10 +8,24 @@
 // on any mismatch, so this binary doubles as a runtime determinism
 // check.
 //
+// The matrix runs at two scales: the base scale (default 11 ⇒ 2048
+// nodes = exactly 64 warp blocks, at the engine's sharding threshold —
+// this measures fork/join overhead) and base+4 (default 15 ⇒ 32768
+// nodes = 1024 warp blocks, where the sharded accounting phase has real
+// work to distribute and scaling is meaningful). A single small scale
+// would measure scheduling overhead and call it scaling.
+//
+// Each (config, thread count) cell is timed over several interleaved
+// rounds: the reported wall is the per-count minimum (robust to noise
+// spikes on shared boxes), and the bit-identity check covers every
+// round, so run-to-run determinism at a fixed thread count is verified
+// alongside cross-thread-count determinism.
+//
 // Results are written as machine-readable JSON to BENCH_engine.json
-// (override with --json FILE) so the perf trajectory can be tracked
-// across commits.
+// (override with --json FILE), one entry per scale, so the perf
+// trajectory can be tracked across commits.
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -66,17 +80,15 @@ NodeId max_degree_node(const Csr& graph) {
   return best;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  auto options = graffix::bench::parse_args(argc, argv);
-  const std::string json_path =
-      options.json_path.empty() ? "BENCH_engine.json" : options.json_path;
-
-  const Csr graph = graffix::make_preset(graffix::GraphPreset::Rmat26,
-                                         options.scale, options.seed);
+/// Runs the full cell matrix at one scale; returns false on any
+/// cross-thread-count drift. Appends this scale's JSON object to `json`
+/// when it is non-null.
+bool run_scale(const graffix::bench::BenchOptions& options, std::uint32_t scale,
+               FILE* json, bool first_scale) {
+  const Csr graph =
+      graffix::make_preset(graffix::GraphPreset::Rmat26, scale, options.seed);
   const NodeId source = max_degree_node(graph);
-  const int engine_reps = options.scale >= 13 ? 5 : 20;
+  const int engine_reps = scale >= 13 ? 5 : 20;
 
   std::vector<Cell> cells;
 
@@ -138,54 +150,102 @@ int main(int argc, char** argv) {
             graffix::baselines::BaselineId::TopologyDriven);
 
   const std::vector<int> thread_counts{1, 2, 8};
-  bool all_identical = true;
+  bool scale_identical = true;
 
-  std::printf("bench_micro_engine: scale=%u seed=%llu (rmat)\n", options.scale,
+  std::printf("bench_micro_engine: scale=%u seed=%llu (rmat)\n", scale,
               static_cast<unsigned long long>(options.seed));
   graffix::metrics::Table table(
       {"Config", "T=1 (s)", "T=2 (s)", "T=8 (s)", "Speedup 8v1", "Identical"});
 
-  FILE* json = std::fopen(json_path.c_str(), "w");
   if (json != nullptr) {
-    std::fprintf(json,
-                 "{\"bench\":\"bench_micro_engine\",\"scale\":%u,\"seed\":%llu,"
-                 "\"configs\":[",
-                 options.scale, static_cast<unsigned long long>(options.seed));
+    std::fprintf(json, "%s{\"scale\":%u,\"configs\":[", first_scale ? "" : ",",
+                 scale);
   }
 
+  // Each (config, thread count) cell is timed kRounds times; the
+  // reported wall is the MINIMUM across rounds (the standard spike-
+  // proof estimator: a descheduled round cannot contaminate it the way
+  // it skews a mean) and the identity check covers EVERY round, so
+  // run-to-run determinism at a fixed thread count is verified too.
+  // Rounds interleave the thread counts and rotate their order (a
+  // Latin square: each count occupies each time slot exactly once), so
+  // monotone drift — a VM getting slower mid-bench — affects all
+  // counts alike instead of always taxing whichever runs last.
+  constexpr std::size_t kRounds = 3;
+  static_assert(kRounds == std::size_t{3});  // rotation covers all slots
   for (std::size_t c = 0; c < cells.size(); ++c) {
-    std::vector<CellRun> runs;
-    for (int t : thread_counts) {
-      graffix::set_num_threads(t);
-      runs.push_back(cells[c].run());
-    }
+    std::vector<double> wall(thread_counts.size(),
+                             std::numeric_limits<double>::infinity());
+    CellRun ref;
     bool identical = true;
-    for (std::size_t i = 1; i < runs.size(); ++i) {
-      identical = identical && runs[i].stats == runs[0].stats &&
-                  runs[i].attr == runs[0].attr &&
-                  runs[i].sim_seconds == runs[0].sim_seconds;
+    bool have_ref = false;
+    for (std::size_t round = 0; round < kRounds; ++round) {
+      for (std::size_t slot = 0; slot < thread_counts.size(); ++slot) {
+        const std::size_t ti = (slot + round) % thread_counts.size();
+        graffix::set_num_threads(thread_counts[ti]);
+        CellRun run = cells[c].run();
+        wall[ti] = std::min(wall[ti], run.wall);
+        if (!have_ref) {
+          ref = std::move(run);
+          have_ref = true;
+        } else {
+          identical = identical && run.stats == ref.stats &&
+                      run.attr == ref.attr &&
+                      run.sim_seconds == ref.sim_seconds;
+        }
+      }
     }
-    all_identical = all_identical && identical;
-    const double speedup =
-        runs.back().wall > 0.0 ? runs.front().wall / runs.back().wall : 0.0;
-    table.add_row({cells[c].name, graffix::metrics::Table::num(runs[0].wall, 4),
-                   graffix::metrics::Table::num(runs[1].wall, 4),
-                   graffix::metrics::Table::num(runs[2].wall, 4),
+    scale_identical = scale_identical && identical;
+    const double speedup = wall.back() > 0.0 ? wall.front() / wall.back() : 0.0;
+    table.add_row({cells[c].name, graffix::metrics::Table::num(wall[0], 4),
+                   graffix::metrics::Table::num(wall[1], 4),
+                   graffix::metrics::Table::num(wall[2], 4),
                    graffix::metrics::Table::speedup(speedup),
                    identical ? "yes" : "NO"});
     if (json != nullptr) {
       std::fprintf(json,
                    "%s{\"name\":\"%s\",\"wall_s\":{\"1\":%.9g,\"2\":%.9g,"
                    "\"8\":%.9g},\"speedup_8v1\":%.9g,\"identical\":%s}",
-                   c > 0 ? "," : "", cells[c].name.c_str(), runs[0].wall,
-                   runs[1].wall, runs[2].wall, speedup,
-                   identical ? "true" : "false");
+                   c > 0 ? "," : "", cells[c].name.c_str(), wall[0], wall[1],
+                   wall[2], speedup, identical ? "true" : "false");
     }
+  }
+  if (json != nullptr) {
+    std::fprintf(json, "],\"identical\":%s}",
+                 scale_identical ? "true" : "false");
+  }
+  table.print();
+  return scale_identical;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto options = graffix::bench::parse_args(argc, argv);
+  const std::string json_path =
+      options.json_path.empty() ? "BENCH_engine.json" : options.json_path;
+
+  // Two points of the scale axis: at the sharding threshold and well
+  // above it (see the file comment).
+  const std::vector<std::uint32_t> scales{options.scale, options.scale + 4};
+
+  FILE* json = std::fopen(json_path.c_str(), "w");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\"bench\":\"bench_micro_engine\",\"seed\":%llu,"
+                 "\"scales\":[",
+                 static_cast<unsigned long long>(options.seed));
+  }
+
+  bool all_identical = true;
+  for (std::size_t s = 0; s < scales.size(); ++s) {
+    all_identical =
+        run_scale(options, scales[s], json, /*first_scale=*/s == 0) &&
+        all_identical;
   }
   graffix::set_num_threads(
       options.threads > 0 ? static_cast<int>(options.threads) : 0);
 
-  table.print();
   if (json != nullptr) {
     std::fprintf(json, "],\"identical\":%s}\n",
                  all_identical ? "true" : "false");

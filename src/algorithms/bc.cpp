@@ -59,7 +59,7 @@ std::vector<double> betweenness_centrality(const Csr& graph,
   const NodeId slots = graph.num_slots();
   std::vector<double> bc(slots, 0.0);
 
-#pragma omp parallel
+#pragma omp parallel num_threads(effective_workers())
   {
     std::vector<double> local_bc(slots, 0.0);
     std::vector<NodeId> level(slots);

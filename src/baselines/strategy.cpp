@@ -35,6 +35,9 @@ class TopologyDriven final : public Strategy {
       out.push_back({s, graph.edge_begin(s), graph.degree(s)});
     }
   }
+  // One item per listed slot, straight from the CSR: pure in (graph,
+  // active), so the all-vertices layout is cacheable across iterations.
+  [[nodiscard]] bool work_is_slot_invariant() const override { return true; }
   [[nodiscard]] std::uint64_t aux_items_per_sweep(std::size_t) const override {
     return 0;
   }
@@ -64,6 +67,9 @@ class TigrLike final : public Strategy {
       if (degree == 0) out.push_back({s, begin, 0});
     }
   }
+  // The virtual-node split depends only on each slot's degree, which is
+  // fixed for a given graph — still pure in (graph, active).
+  [[nodiscard]] bool work_is_slot_invariant() const override { return true; }
   [[nodiscard]] std::uint64_t aux_items_per_sweep(
       std::size_t active_count) const override {
     // Virtual-to-physical bookkeeping touches each active vertex once.
@@ -88,6 +94,9 @@ class GunrockLike final : public Strategy {
       out.push_back({s, graph.edge_begin(s), graph.degree(s)});
     }
   }
+  // Same per-vertex decomposition as Baseline-I; the frontier filter is
+  // charged via aux_items_per_sweep, not encoded in the work list.
+  [[nodiscard]] bool work_is_slot_invariant() const override { return true; }
   [[nodiscard]] std::uint64_t aux_items_per_sweep(
       std::size_t active_count) const override {
     // Advance + filter: frontier compaction reads and writes each active

@@ -54,6 +54,15 @@ class Strategy {
   virtual void make_work(const Csr& graph, std::span<const NodeId> active,
                          std::vector<sim::WorkItem>& out) const = 0;
 
+  /// Whether make_work is a pure function of (graph, active): if so, the
+  /// work list for a fixed slot list never changes across iterations and
+  /// runners may build it once and reuse it (the Driver caches the
+  /// layout for the invariant warp-order list, so topology-driven sweeps
+  /// stop paying O(n) construction per iteration). A strategy whose
+  /// decomposition depends on mutable per-iteration state (adaptive
+  /// load balancing, degree-feedback splitting) must return false.
+  [[nodiscard]] virtual bool work_is_slot_invariant() const = 0;
+
   /// Auxiliary per-sweep cost in "uniform kernel items" (e.g. Gunrock's
   /// filter touches every active element once).
   [[nodiscard]] virtual std::uint64_t aux_items_per_sweep(

@@ -161,7 +161,7 @@ std::vector<ExperimentRow> run_graph(const SuiteEntry& entry,
     }
   };
   const std::size_t n_tasks = 2 * cells.size();
-  if (n_tasks > 1 && num_threads() > 1 && !in_parallel()) {
+  if (n_tasks > 1 && effective_workers() > 1 && !in_parallel()) {
     parallel_for_dynamic(std::size_t{0}, n_tasks, run_cell, /*grain=*/1);
   } else {
     for (std::size_t t = 0; t < n_tasks; ++t) run_cell(t);
@@ -235,7 +235,7 @@ std::vector<ExperimentRow> run_exact_table(const ExperimentConfig& config) {
     rc.bc_sources = c.bc_nodes;
     outs[t] = c.pipeline->run_exact(config.algorithms[t % n_algs], rc);
   };
-  if (outs.size() > 1 && num_threads() > 1 && !in_parallel()) {
+  if (outs.size() > 1 && effective_workers() > 1 && !in_parallel()) {
     parallel_for_dynamic(std::size_t{0}, outs.size(), run_cell, /*grain=*/1);
   } else {
     for (std::size_t t = 0; t < outs.size(); ++t) run_cell(t);

@@ -146,12 +146,9 @@ class Driver {
   void cluster_phase_round(std::uint32_t round, Fn&& fn, Want&& want) {
     if (config_.clusters == nullptr || config_.clusters->empty()) return;
     bool any = false;
-    SweepOptions copts;
-    copts.edge_mode = opts_.edge_mode;
-    copts.weighted = opts_.weighted;
-    copts.attr_space = sim::AttrSpace::Shared;
-    copts.charge_launch = false;
-    copts.edges_resident = round > 0;
+    // Round 0 streams the cluster edges in (the staging load itself);
+    // later rounds within the same launch reuse them (§3).
+    const SweepOptions copts = cluster_opts(/*edges_resident=*/round > 0);
     const auto& clusters = config_.clusters->clusters;
     for (std::size_t c = 0; c < clusters.size(); ++c) {
       if (!want(c)) continue;
@@ -193,40 +190,86 @@ class Driver {
   template <typename Gate, typename Fn>
   void sweep_impl(std::span<const NodeId> slots_in_order, Gate&& gate,
                   Fn&& fn) {
-    strategy_->make_work(exec_graph(), slots_in_order, work_);
-    track_primary(work_.size());
+    const std::span<const WorkItem> work = work_for(slots_in_order);
+    track_primary(work.size());
     // Each lane's gate check is one coalesced state load.
-    engine_->charge_uniform_kernel(work_.size(), 1.0, stats_);
+    engine_->charge_uniform_kernel(work.size(), 1.0, stats_);
     stats_.sweeps -= 1;  // the gate load is part of this launch
-    engine_->sweep_gated(work_, opts_, gate, fn, stats_);
+    engine_->sweep_gated(work, opts_, gate, fn, stats_);
     if (has_clusters()) {
-      cluster_work_.clear();
-      const Csr& cgraph = layout_->cluster_graph;
-      const auto& resident = config_.clusters->resident;
-      for (NodeId s : slots_in_order) {
-        if (resident[s] == kInvalidNode) continue;
-        const NodeId d = cgraph.degree(s);
-        if (d > 0) {
-          cluster_work_.push_back({s, cgraph.edge_begin(s), d});
-        }
-      }
-      if (!cluster_work_.empty()) {
-        SweepOptions copts;
-        copts.edge_mode = opts_.edge_mode;
-        copts.weighted = opts_.weighted;
-        copts.attr_space = sim::AttrSpace::Shared;
-        copts.charge_launch = false;  // same launch as the boundary part
+      const std::span<const WorkItem> cwork = cluster_work_for(slots_in_order);
+      if (!cwork.empty()) {
         // Shared memory does not survive kernel launches: every sweep
         // re-streams the cluster edges from global memory (that IS the
         // staging load); only inner rounds within one launch (see
-        // cluster_phase_round) get resident edges.
-        copts.edges_resident = false;
-        primary_items_ += cluster_work_.size();
-        cluster_engine_->sweep_gated(cluster_work_, copts, gate, fn, stats_);
+        // cluster_phase_round) get resident edges. Not its own launch:
+        // it is part of the boundary sweep's.
+        primary_items_ += cwork.size();
+        cluster_engine_->sweep_gated(cwork, cluster_opts(false), gate, fn,
+                                     stats_);
       }
       charge_staging(slots_in_order.size());
     }
     charge_aux(slots_in_order.size());
+  }
+
+  /// True when `slots` is this driver's invariant warp-order list and
+  /// the strategy's decomposition is a pure function of (graph, slots) —
+  /// the conditions under which a work layout built once stays valid for
+  /// the driver's whole lifetime. (Graph, order, and strategy are all
+  /// fixed at construction, so cached layouts never need invalidating;
+  /// swapping any of them means building a new Driver.)
+  [[nodiscard]] bool invariant_order(std::span<const NodeId> slots) const {
+    return strategy_->work_is_slot_invariant() &&
+           slots.data() == layout_->order.data() &&
+           slots.size() == layout_->order.size();
+  }
+
+  /// Work list for one boundary sweep: cached across iterations for the
+  /// invariant warp-order list, rebuilt per sweep for frontiers.
+  [[nodiscard]] std::span<const WorkItem> work_for(
+      std::span<const NodeId> slots) {
+    if (invariant_order(slots)) {
+      if (!cached_work_built_) {
+        strategy_->make_work(exec_graph(), slots, cached_work_);
+        cached_work_built_ = true;
+      }
+      return cached_work_;
+    }
+    strategy_->make_work(exec_graph(), slots, work_);
+    return work_;
+  }
+
+  /// Per-vertex items over the intra-cluster subgraph for the resident
+  /// members of `slots`, cached like work_for.
+  [[nodiscard]] std::span<const WorkItem> cluster_work_for(
+      std::span<const NodeId> slots) {
+    const bool invariant = invariant_order(slots);
+    if (invariant && cached_cluster_work_built_) return cached_cluster_work_;
+    std::vector<WorkItem>& out = invariant ? cached_cluster_work_ : cluster_work_;
+    out.clear();
+    const Csr& cgraph = layout_->cluster_graph;
+    const auto& resident = config_.clusters->resident;
+    for (NodeId s : slots) {
+      if (resident[s] == kInvalidNode) continue;
+      const NodeId d = cgraph.degree(s);
+      if (d > 0) out.push_back({s, cgraph.edge_begin(s), d});
+    }
+    if (invariant) cached_cluster_work_built_ = true;
+    return out;
+  }
+
+  /// Options for a shared-memory cluster sweep (the boundary sweep's
+  /// cluster part and the inner refinement rounds share everything but
+  /// edge residency).
+  [[nodiscard]] SweepOptions cluster_opts(bool edges_resident) const {
+    SweepOptions copts;
+    copts.edge_mode = opts_.edge_mode;
+    copts.weighted = opts_.weighted;
+    copts.attr_space = sim::AttrSpace::Shared;
+    copts.charge_launch = false;
+    copts.edges_resident = edges_resident;
+    return copts;
   }
 
   [[nodiscard]] bool has_clusters() const { return layout_->has_clusters; }
@@ -510,7 +553,11 @@ class Driver {
   std::optional<Engine> engine_;
   std::unique_ptr<Strategy> strategy_;
   std::shared_ptr<const Layout> layout_;
-  std::vector<WorkItem> work_;
+  std::vector<WorkItem> work_;  // frontier sweeps: rebuilt per sweep
+  // Invariant warp-order layouts, built lazily once per driver and
+  // reused every iteration (see work_for / invariant_order).
+  std::vector<WorkItem> cached_work_;
+  bool cached_work_built_ = false;
   SweepOptions opts_;
   KernelStats stats_;
   std::uint64_t primary_items_ = 0;
@@ -518,6 +565,8 @@ class Driver {
 
   std::optional<Engine> cluster_engine_;
   std::vector<WorkItem> cluster_work_;
+  std::vector<WorkItem> cached_cluster_work_;
+  bool cached_cluster_work_built_ = false;
 
   // order_active() scratch: duplicate counts + touched-position bitmap,
   // both epoch-stamped so no per-sweep clearing is needed.
@@ -905,9 +954,11 @@ RunOutput run_bc(const Csr& graph, const RunConfig& config) {
 
   // One fork per source even on one thread: a single code path cannot
   // drift between thread counts. Nested callers (the bench matrix) keep
-  // the source loop serial — the inner engine shards then.
+  // the source loop serial — the inner engine shards then. The fan-out
+  // is sized by the concurrency actually available: oversubscribing a
+  // smaller machine would only slow the sources down.
   std::vector<SourceResult> results(sources.size());
-  if (sources.size() > 1 && num_threads() > 1 && !in_parallel()) {
+  if (sources.size() > 1 && effective_workers() > 1 && !in_parallel()) {
     parallel_for_dynamic(
         std::size_t{0}, results.size(),
         [&](std::size_t k) { run_source(sources[k], results[k]); },

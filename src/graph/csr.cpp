@@ -52,7 +52,12 @@ std::size_t Csr::memory_bytes() const {
 Csr Csr::transpose() const {
   const NodeId slots = num_slots();
   const std::size_t m = targets_.size();
-  const int threads = num_threads();
+  // Algorithm selection keys on the workers that can actually run
+  // concurrently: the block-histogram path does strictly more work than
+  // the serial counting sort, so picking it under an oversubscribed
+  // pool (logical threads > cores) would pay its overhead with no
+  // parallelism to recoup it. Both paths are bit-identical.
+  const int threads = effective_workers();
 
   if (threads <= 1 || m < kParallelTransposeMinEdges) {
     // Serial counting sort: within each reversed row, arcs appear in

@@ -1,8 +1,105 @@
 #include "sim/engine.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace graffix::sim {
+
+std::size_t Engine::sweep_chunk_count(std::size_t n_blocks) const {
+  if (chunks_override_ > 0) return std::min(chunks_override_, n_blocks);
+  if (n_blocks < kMinBlocksToShard || in_parallel()) return 1;
+  // Oversubscribed pools (more threads pinned than processors) cannot
+  // speed up the accounting phase — shard by what the machine can
+  // actually run. One-worker machines stay on the fused serial path.
+  const auto workers = static_cast<std::size_t>(effective_workers());
+  if (workers <= 1) return 1;
+  return std::max<std::size_t>(
+      1, std::min(workers * kChunksPerWorker, n_blocks / kMinBlocksPerChunk));
+}
+
+void Engine::account_block(std::span<const WorkItem> items,
+                           const SweepOptions& opts, std::size_t b,
+                           const BlockMeta& meta, SweepScratch& sc,
+                           KernelStats& st) const {
+  const std::uint32_t ws = config_.warp_size;
+  const auto targets = graph_->targets();
+  const bool csr_mode = opts.edge_mode == EdgeLoadMode::Csr;
+  const bool ideal_mode = opts.edge_mode == EdgeLoadMode::IdealWarpPacked;
+  const bool shared_attr = opts.attr_space == AttrSpace::Shared;
+  const bool have_resident = !opts.resident.empty();
+  const std::uint64_t edge_bytes = config_.edge_bytes;
+  const std::uint64_t attr_bytes = config_.attr_bytes;
+  const std::uint64_t seg_bytes = config_.transaction_bytes;
+  const std::uint32_t banks = config_.shared_banks;
+  const std::size_t base = b * ws;
+  const std::uint64_t bits = meta.bits;
+  const std::uint32_t lanes = meta.lanes;
+  const NodeId max_len = meta.max_len;
+  // Source-side residency is invariant across an item's edges: fetch it
+  // once per gated-in lane instead of once per edge.
+  for (std::uint32_t l = 0; l < lanes; ++l) {
+    if (!((bits >> l) & 1)) continue;
+    sc.lane_res[l] =
+        have_resident ? opts.resident[items[base + l].src] : kInvalidNode;
+  }
+  std::fill_n(sc.lane_edge_seg.begin(), lanes, ~std::uint64_t{0});
+  // Every step issues one warp instruction and occupies ws lane slots.
+  st.warp_steps += max_len;
+  st.lane_slots += static_cast<std::uint64_t>(max_len) * ws;
+  for (NodeId j = 0; j < max_len; ++j) {
+    sc.epoch += 1;  // invalidates the bank + segment scratch in O(1)
+    std::uint32_t active = 0;
+    std::uint32_t edge_segs = 0;
+    std::uint32_t attr_segs = 0;
+    std::uint32_t shared_hits = 0;
+    for (std::uint32_t l = 0; l < lanes; ++l) {
+      const WorkItem& item = items[base + l];
+      if (!((bits >> l) & 1) || j >= item.edge_count) continue;
+      ++active;
+      const EdgeId e = item.edge_begin + j;
+      const NodeId v = targets[e];
+      if (csr_mode) {
+        // A lane streams its adjacency sequentially: consecutive
+        // positions share a 32B sector and hit in cache, so a lane
+        // only pays when it crosses into a new sector.
+        const std::uint64_t seg = (e * edge_bytes) / seg_bytes;
+        if (seg != sc.lane_edge_seg[l]) {
+          sc.lane_edge_seg[l] = seg;
+          ++edge_segs;
+        }
+      }
+      const bool resident_pair = sc.lane_res[l] != kInvalidNode &&
+                                 sc.lane_res[l] == opts.resident[v];
+      if (shared_attr || resident_pair) {
+        ++shared_hits;
+        // Bank-conflict bookkeeping: lanes hitting different words in
+        // the same bank serialize; same-word hits broadcast for free.
+        const std::uint32_t bank = v % banks;
+        if (sc.bank_epoch[bank] == sc.epoch && sc.bank_word[bank] != v) {
+          st.bank_conflicts += 1;
+        }
+        sc.bank_word[bank] = v;
+        sc.bank_epoch[bank] = sc.epoch;
+      } else {
+        attr_segs += sc.insert_attr_seg((v * attr_bytes) / seg_bytes);
+      }
+    }
+    if (ideal_mode && active > 0) edge_segs = 1;
+    if (opts.weighted) edge_segs *= 2;  // parallel weights stream
+    if (opts.edges_resident) {
+      st.shared_accesses += active;
+      edge_segs = 0;
+    }
+    st.active_lanes += active;
+    st.edge_transactions += edge_segs;
+    st.attr_transactions += attr_segs;
+    st.shared_accesses += shared_hits;
+    // Lower bound: `active` gathers of attr_bytes each, fully packed.
+    const std::uint64_t global_attr = active - shared_hits;
+    st.attr_ideal_transactions +=
+        (global_attr * attr_bytes + seg_bytes - 1) / seg_bytes;
+  }
+}
 
 void Engine::charge_uniform_kernel(std::uint64_t n_items, double tx_per_item,
                                    KernelStats& stats) const {

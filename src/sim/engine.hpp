@@ -17,13 +17,29 @@
 //   here and the phase shards contiguous block ranges across threads;
 //   each chunk accumulates into its own KernelStats, reduced in chunk
 //   (= warp block) order. All counters are integer sums, so the totals
-//   are bit-identical at any thread count.
+//   are bit-identical at any thread count. Phase A also records each
+//   block's metadata (gate bitmask, lane count, longest gated-in item)
+//   and a compacted per-chunk list of live block ids.
 //
 //   Phase B (functional) — replays warps serially in warp/lane order and
 //   invokes the caller's functor. Functors may read state written by
 //   earlier commits of the same sweep (Bellman-Ford-style propagation),
 //   so this phase never runs in parallel: atomic_commits/atomic_conflicts
 //   and all functional state match the fully serial engine exactly.
+//   Phase B walks only the live blocks Phase A compacted and reuses the
+//   recorded metadata, so gated-out regions and gate/metadata recompute
+//   cost nothing here.
+//
+// When the chunking policy yields a single chunk (small sweeps, nested
+// parallelism, a one-worker machine), the sweep takes a *fused* path
+// instead: a cheap O(items) gate prepass records the same per-block
+// metadata, then one walk over the live blocks runs accounting and the
+// functional replay back-to-back per block while the block's items and
+// edges are cache-hot. The prepass keeps gate-evaluation timing
+// identical to the two-phase path (every gate fires before any fn()),
+// so the fused path produces byte-identical KernelStats and functional
+// state for ANY pure gate — even one that is not sweep-stable — which
+// is what lets one-thread and sharded runs agree bit-for-bit.
 //
 // Contract for gates: a gate must be *sweep-stable* — its value for any
 // source may not depend on commits made by this sweep's functor, because
@@ -93,10 +109,11 @@ struct SweepScratch {
       lane_edge_seg.assign(warp_size, ~std::uint64_t{0});
       lane_res.assign(warp_size, kInvalidNode);
     }
+    bool rewound = false;
     if (bank_word.size() != banks) {
       bank_word.assign(banks, kInvalidNode);
       bank_epoch.assign(banks, 0);
-      epoch = 0;
+      rewound = true;
     }
     std::uint32_t cap = 4;
     while (cap < 4 * warp_size) cap *= 2;
@@ -104,7 +121,17 @@ struct SweepScratch {
       seg_key.assign(cap, 0);
       seg_epoch.assign(cap, 0);
       seg_mask = cap - 1;
+      rewound = true;
+    }
+    if (rewound) {
+      // Rewinding the epoch invalidates the stamps of BOTH tables, not
+      // just the one that was resized: a stale stamp left at e.g. 1
+      // would read as valid the moment the rewound epoch reaches 1
+      // again (false "already present" segments undercount attr
+      // transactions; false bank hits overcount conflicts).
       epoch = 0;
+      std::fill(bank_epoch.begin(), bank_epoch.end(), 0);
+      std::fill(seg_epoch.begin(), seg_epoch.end(), 0);
     }
   }
 
@@ -165,16 +192,57 @@ class Engine {
     if (items.empty()) return;
     const std::uint32_t ws = config_.warp_size;
     const std::size_t n_blocks = (items.size() + ws - 1) / ws;
-    const auto targets = graph_->targets();
-    const std::uint64_t seg_bytes = config_.transaction_bytes;
+    const std::size_t n_chunks = sweep_chunk_count(n_blocks);
+    block_meta_.resize(n_blocks);
+    lane_dst_.resize(ws);
+    lane_active_.resize(ws);
+
+    // Evaluates the gate for every lane of block b, records {bits,
+    // lanes, max_len}, and reports whether the block has any work. The
+    // warp runs until its longest gated-in item is exhausted (thread
+    // divergence: shorter and gated-out lanes idle).
+    auto eval_gate = [&](std::size_t b) {
+      const std::size_t base = b * ws;
+      const auto lanes = static_cast<std::uint32_t>(
+          std::min<std::size_t>(ws, items.size() - base));
+      std::uint64_t bits = 0;
+      NodeId max_len = 0;
+      for (std::uint32_t l = 0; l < lanes; ++l) {
+        const WorkItem& item = items[base + l];
+        if (!gate(item.src)) continue;
+        bits |= std::uint64_t{1} << l;
+        max_len = std::max(max_len, item.edge_count);
+      }
+      block_meta_[b] = {bits, max_len, lanes};
+      return max_len > 0;
+    };
+
+    if (chunk_live_.size() < n_chunks) chunk_live_.resize(n_chunks);
+
+    // ---- Fused serial path ----------------------------------------------
+    // One chunk means no parallelism to exploit, so skip the phase
+    // barrier: after the O(items) gate prepass, each live block runs its
+    // accounting and functional replay back-to-back while its items and
+    // edges are cache-hot — the pre-sharding single-traversal cost. The
+    // prepass is what keeps gate timing identical to the two-phase path
+    // (every gate fires before any fn()); see the file comment.
+    if (n_chunks == 1 && chunks_override_ == 0) {
+      auto& live = chunk_live_[0];
+      live.clear();
+      for (std::size_t b = 0; b < n_blocks; ++b) {
+        if (eval_gate(b)) live.push_back(b);
+      }
+      if (scratch_.empty()) scratch_.resize(1);
+      SweepScratch& sc = scratch_[0];
+      sc.ensure(ws, config_.shared_banks);
+      for (const std::size_t b : live) {
+        account_block(items, opts, b, block_meta_[b], sc, stats);
+        functional_block(items, b, block_meta_[b], fn, stats);
+      }
+      return;
+    }
 
     // ---- Phase A: gate evaluation + memory accounting -------------------
-    gate_bits_.assign(n_blocks, 0);
-    std::size_t n_chunks = 1;
-    if (n_blocks >= kMinBlocksToShard && num_threads() > 1 && !in_parallel()) {
-      n_chunks =
-          std::min(n_blocks, static_cast<std::size_t>(num_threads()) * 4);
-    }
     if (scratch_.size() < n_chunks) scratch_.resize(n_chunks);
     chunk_stats_.assign(n_chunks, KernelStats{});
     const std::size_t blocks_per = n_blocks / n_chunks;
@@ -182,102 +250,24 @@ class Engine {
     auto chunk_begin = [&](std::size_t c) {
       return c * blocks_per + std::min(c, blocks_rem);
     };
-
     auto account = [&](std::size_t c) {
       SweepScratch& sc = scratch_[c];
       sc.ensure(ws, config_.shared_banks);
       KernelStats& st = chunk_stats_[c];
-      const bool csr_mode = opts.edge_mode == EdgeLoadMode::Csr;
-      const bool ideal_mode = opts.edge_mode == EdgeLoadMode::IdealWarpPacked;
-      const bool shared_attr = opts.attr_space == AttrSpace::Shared;
-      const bool have_resident = !opts.resident.empty();
-      const std::uint64_t edge_bytes = config_.edge_bytes;
-      const std::uint64_t attr_bytes = config_.attr_bytes;
-      const std::uint32_t banks = config_.shared_banks;
+      auto& live = chunk_live_[c];
+      live.clear();
       const std::size_t block_end = chunk_begin(c + 1);
       for (std::size_t b = chunk_begin(c); b < block_end; ++b) {
-        const std::size_t base = b * ws;
-        const std::uint32_t lanes = static_cast<std::uint32_t>(
-            std::min<std::size_t>(ws, items.size() - base));
-        // Warp runs until its longest gated-in item is exhausted (thread
-        // divergence: shorter and gated-out lanes idle).
-        std::uint64_t bits = 0;
-        NodeId max_len = 0;
-        for (std::uint32_t l = 0; l < lanes; ++l) {
-          const WorkItem& item = items[base + l];
-          if (!gate(item.src)) continue;
-          bits |= std::uint64_t{1} << l;
-          max_len = std::max(max_len, item.edge_count);
-          // Source-side residency is invariant across the item's edges:
-          // fetch it once per lane instead of once per edge.
-          sc.lane_res[l] =
-              have_resident ? opts.resident[item.src] : kInvalidNode;
-        }
-        gate_bits_[b] = bits;
-        if (max_len == 0) continue;
-        std::fill_n(sc.lane_edge_seg.begin(), lanes, ~std::uint64_t{0});
-        for (NodeId j = 0; j < max_len; ++j) {
-          st.warp_steps += 1;
-          st.lane_slots += ws;
-          sc.epoch += 1;  // invalidates the bank + segment scratch in O(1)
-          std::uint32_t active = 0;
-          std::uint32_t edge_segs = 0;
-          std::uint32_t attr_segs = 0;
-          std::uint32_t shared_hits = 0;
-          for (std::uint32_t l = 0; l < lanes; ++l) {
-            const WorkItem& item = items[base + l];
-            if (!((bits >> l) & 1) || j >= item.edge_count) continue;
-            ++active;
-            const EdgeId e = item.edge_begin + j;
-            const NodeId v = targets[e];
-            if (csr_mode) {
-              // A lane streams its adjacency sequentially: consecutive
-              // positions share a 32B sector and hit in cache, so a lane
-              // only pays when it crosses into a new sector.
-              const std::uint64_t seg = (e * edge_bytes) / seg_bytes;
-              if (seg != sc.lane_edge_seg[l]) {
-                sc.lane_edge_seg[l] = seg;
-                ++edge_segs;
-              }
-            }
-            const bool resident_pair = sc.lane_res[l] != kInvalidNode &&
-                                       sc.lane_res[l] == opts.resident[v];
-            if (shared_attr || resident_pair) {
-              ++shared_hits;
-              // Bank-conflict bookkeeping: lanes hitting different words
-              // in the same bank serialize; same-word hits broadcast for
-              // free.
-              const std::uint32_t bank = v % banks;
-              if (sc.bank_epoch[bank] == sc.epoch && sc.bank_word[bank] != v) {
-                st.bank_conflicts += 1;
-              }
-              sc.bank_word[bank] = v;
-              sc.bank_epoch[bank] = sc.epoch;
-            } else {
-              attr_segs += sc.insert_attr_seg((v * attr_bytes) / seg_bytes);
-            }
-          }
-          if (ideal_mode && active > 0) edge_segs = 1;
-          if (opts.weighted) edge_segs *= 2;  // parallel weights stream
-          if (opts.edges_resident) {
-            st.shared_accesses += active;
-            edge_segs = 0;
-          }
-          st.active_lanes += active;
-          st.edge_transactions += edge_segs;
-          st.attr_transactions += attr_segs;
-          st.shared_accesses += shared_hits;
-          // Lower bound: `active` gathers of attr_bytes each, fully packed.
-          const std::uint64_t global_attr = active - shared_hits;
-          st.attr_ideal_transactions +=
-              (global_attr * attr_bytes + seg_bytes - 1) / seg_bytes;
-        }
+        if (!eval_gate(b)) continue;
+        live.push_back(b);
+        account_block(items, opts, b, block_meta_[b], sc, st);
       }
     };
-
     if (n_chunks == 1) {
       account(0);
     } else {
+      // Chunks are already coarse (>= kMinBlocksPerChunk blocks each),
+      // so grain 1 just load-balances them across the team.
       parallel_for_dynamic(std::size_t{0}, n_chunks, account, /*grain=*/1);
     }
     // Chunks cover ascending block ranges; reducing in chunk order keeps
@@ -286,48 +276,13 @@ class Engine {
     for (std::size_t c = 0; c < n_chunks; ++c) stats += chunk_stats_[c];
 
     // ---- Phase B: functional phase + atomic accounting ------------------
-    // Always serial, in warp/lane order. Conflicts: lanes of the same
-    // step committing to the same destination serialize.
-    const auto weights = graph_->weights();
-    const bool has_weights = !weights.empty();
-    lane_dst_.resize(ws);
-    lane_active_.resize(ws);
-    for (std::size_t b = 0; b < n_blocks; ++b) {
-      const std::uint64_t bits = gate_bits_[b];
-      if (bits == 0) continue;
-      const std::size_t base = b * ws;
-      const std::uint32_t lanes = static_cast<std::uint32_t>(
-          std::min<std::size_t>(ws, items.size() - base));
-      NodeId max_len = 0;
-      for (std::uint32_t l = 0; l < lanes; ++l) {
-        if ((bits >> l) & 1) {
-          max_len = std::max(max_len, items[base + l].edge_count);
-        }
-      }
-      for (NodeId j = 0; j < max_len; ++j) {
-        std::uint32_t commits = 0;
-        for (std::uint32_t l = 0; l < lanes; ++l) {
-          const WorkItem& item = items[base + l];
-          if (!((bits >> l) & 1) || j >= item.edge_count) {
-            lane_active_[l] = 0;
-            continue;
-          }
-          lane_active_[l] = 1;
-          const EdgeId e = item.edge_begin + j;
-          const NodeId v = targets[e];
-          lane_dst_[l] = v;
-          const Weight w = has_weights ? weights[e] : Weight{1};
-          if (fn(item.src, v, w)) {
-            ++commits;
-            for (std::uint32_t p = 0; p < l; ++p) {
-              if (lane_active_[p] && lane_dst_[p] == v) {
-                stats.atomic_conflicts += 1;
-                break;
-              }
-            }
-          }
-        }
-        stats.atomic_commits += commits;
+    // Always serial, in warp/lane order. Only the live blocks Phase A
+    // compacted are visited (per-chunk lists concatenate to ascending
+    // block order), and the recorded metadata means nothing is
+    // re-derived — the replay cost is proportional to active work.
+    for (std::size_t c = 0; c < n_chunks; ++c) {
+      for (const std::size_t b : chunk_live_[c]) {
+        functional_block(items, b, block_meta_[b], fn, stats);
       }
     }
   }
@@ -337,18 +292,94 @@ class Engine {
   void charge_uniform_kernel(std::uint64_t n_items, double tx_per_item,
                              KernelStats& stats) const;
 
+  /// Testing only: forces the two-phase path with min(n, blocks) chunks
+  /// regardless of thread count or machine shape, so fused-vs-sharded
+  /// equivalence can be pinned on any box. 0 restores the automatic
+  /// policy (shard by actual hardware concurrency).
+  void set_sweep_chunks_for_test(std::size_t n) { chunks_override_ = n; }
+
  private:
+  /// Per-block metadata recorded during gate evaluation and reused by
+  /// both accounting and the functional replay.
+  struct BlockMeta {
+    std::uint64_t bits;  // gate bitmask: lane l is gated-in iff bit l
+    NodeId max_len;      // longest gated-in item (warp step count)
+    std::uint32_t lanes; // items in this block (partial tail warp < ws)
+  };
+
   /// Below this many warp blocks the fork/join cost outweighs the
-  /// accounting work and the sweep stays on one chunk.
-  static constexpr std::size_t kMinBlocksToShard = 32;
+  /// accounting work and the sweep stays on one chunk (which also takes
+  /// the fused path).
+  static constexpr std::size_t kMinBlocksToShard = 64;
+  /// A chunk must carry at least this many blocks: finer sharding spends
+  /// more on scheduling than the per-block accounting it distributes.
+  static constexpr std::size_t kMinBlocksPerChunk = 16;
+  /// Chunks per worker when blocks allow it — enough slack for dynamic
+  /// load balancing over skewed degree distributions without shredding
+  /// the iteration space.
+  static constexpr std::size_t kChunksPerWorker = 4;
+
+  /// Chunking policy for one sweep: sized by the actual block count and
+  /// by the hardware concurrency actually available (oversubscribed
+  /// pools never help; see util/parallel.hpp effective_workers).
+  [[nodiscard]] std::size_t sweep_chunk_count(std::size_t n_blocks) const;
+
+  /// Memory accounting for one warp block (gate bits already recorded in
+  /// `meta`). Topology-only: never calls the gate or the functor.
+  void account_block(std::span<const WorkItem> items, const SweepOptions& opts,
+                     std::size_t b, const BlockMeta& meta, SweepScratch& sc,
+                     KernelStats& st) const;
+
+  /// Functional replay of one warp block in lane order: invokes fn and
+  /// charges atomic commits/conflicts. Lanes of the same step committing
+  /// to the same destination serialize.
+  template <typename EdgeFn>
+  void functional_block(std::span<const WorkItem> items, std::size_t b,
+                        const BlockMeta& meta, EdgeFn&& fn,
+                        KernelStats& stats) {
+    const std::uint32_t ws = config_.warp_size;
+    const auto targets = graph_->targets();
+    const auto weights = graph_->weights();
+    const bool has_weights = !weights.empty();
+    const std::size_t base = b * ws;
+    const std::uint64_t bits = meta.bits;
+    const std::uint32_t lanes = meta.lanes;
+    for (NodeId j = 0; j < meta.max_len; ++j) {
+      std::uint32_t commits = 0;
+      for (std::uint32_t l = 0; l < lanes; ++l) {
+        const WorkItem& item = items[base + l];
+        if (!((bits >> l) & 1) || j >= item.edge_count) {
+          lane_active_[l] = 0;
+          continue;
+        }
+        lane_active_[l] = 1;
+        const EdgeId e = item.edge_begin + j;
+        const NodeId v = targets[e];
+        lane_dst_[l] = v;
+        const Weight w = has_weights ? weights[e] : Weight{1};
+        if (fn(item.src, v, w)) {
+          ++commits;
+          for (std::uint32_t p = 0; p < l; ++p) {
+            if (lane_active_[p] && lane_dst_[p] == v) {
+              stats.atomic_conflicts += 1;
+              break;
+            }
+          }
+        }
+      }
+      stats.atomic_commits += commits;
+    }
+  }
 
   const Csr* graph_;
   SimConfig config_;
   std::vector<NodeId> lane_dst_;
   std::vector<std::uint8_t> lane_active_;
-  std::vector<std::uint64_t> gate_bits_;  // one gate bitmask per warp block
+  std::vector<BlockMeta> block_meta_;  // per warp block, one sweep's worth
+  std::vector<std::vector<std::size_t>> chunk_live_;  // live block ids
   std::vector<KernelStats> chunk_stats_;
   std::vector<SweepScratch> scratch_;
+  std::size_t chunks_override_ = 0;  // testing only; 0 = automatic
 };
 
 /// Builds one WorkItem per listed slot covering its whole adjacency.

@@ -4,6 +4,15 @@
 // plus a contiguous range of its adjacency. The plain strategies emit one
 // item per vertex; the Tigr-like strategy splits high-degree vertices into
 // several items (virtual nodes) so each lane's range is bounded.
+//
+// Work lists built from an *invariant* slot list (the warp order used by
+// every topology-driven sweep) are themselves invariant whenever the
+// strategy's decomposition is a pure function of (graph, slots) — see
+// baselines::Strategy::work_is_slot_invariant. Runners exploit this by
+// building such layouts once per driver (and once per cluster in the
+// shared Layout) and reusing them across iterations; a cached layout is
+// only valid for the exact (graph, order, strategy) triple it was built
+// from, so swapping any of those means building a new driver.
 #pragma once
 
 #include <cstdint>

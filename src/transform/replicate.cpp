@@ -74,8 +74,9 @@ ReplicationResult replicate_into_holes(const Csr& renumbered,
   {
     // Candidate enumeration is the transform's hot loop; per-thread
     // buffers keep it deterministic (the global sort below fixes the
-    // final order regardless of thread count).
-    const int threads = num_threads();
+    // final order regardless of thread count). The team is capped at
+    // the workers that can actually run concurrently.
+    const int threads = effective_workers();
     std::vector<std::vector<Candidate>> local(threads);
 #pragma omp parallel num_threads(threads)
     {

@@ -24,4 +24,10 @@ void set_num_threads(int n) {
 
 bool in_parallel() { return omp_in_parallel() != 0; }
 
+int effective_workers() {
+  const int procs = omp_get_num_procs();
+  const int threads = num_threads();
+  return threads < procs ? threads : procs;
+}
+
 }  // namespace graffix

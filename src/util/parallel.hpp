@@ -29,13 +29,27 @@ void set_num_threads(int n);
 /// checks this when its sweeps run under a source-parallel caller).
 bool in_parallel();
 
+/// Number of workers that can actually make progress at once:
+/// min(num_threads(), processor count). Pinning a pool wider than the
+/// machine (the determinism tests do this on purpose) oversubscribes,
+/// which never speeds up CPU-bound deterministic work — it only adds
+/// context-switch overhead. Fan-out *sizing* decisions (engine sweep
+/// chunks, BC source fan-out, bench matrices) use this; outputs are
+/// bit-identical either way (DESIGN.md §7), so it only affects speed.
+int effective_workers();
+
 /// parallel_for over [begin, end) with static scheduling. The body must be
 /// safe to run concurrently for distinct indices.
+///
+/// All wrappers cap the actual OpenMP team at effective_workers():
+/// callers that partition work by num_threads() logical blocks keep
+/// doing so (blocks queue over the smaller team), so outputs never
+/// change — only the fork width does.
 template <typename Index, typename Body>
 void parallel_for(Index begin, Index end, Body&& body) {
   const auto n = static_cast<std::int64_t>(end) - static_cast<std::int64_t>(begin);
   if (n <= 0) return;
-#pragma omp parallel for schedule(static)
+#pragma omp parallel for schedule(static) num_threads(effective_workers())
   for (std::int64_t i = 0; i < n; ++i) {
     body(static_cast<Index>(begin + i));
   }
@@ -48,18 +62,22 @@ void parallel_for_dynamic(Index begin, Index end, Body&& body,
                           std::int64_t grain = 256) {
   const auto n = static_cast<std::int64_t>(end) - static_cast<std::int64_t>(begin);
   if (n <= 0) return;
-#pragma omp parallel for schedule(dynamic, grain)
+#pragma omp parallel for schedule(dynamic, grain) \
+    num_threads(effective_workers())
   for (std::int64_t i = 0; i < n; ++i) {
     body(static_cast<Index>(begin + i));
   }
 }
 
-/// Sum-reduction over [begin, end): returns sum of body(i).
+/// Sum-reduction over [begin, end): returns sum of body(i). The
+/// reduction order depends on the team, so only timing/telemetry may
+/// use this (DESIGN.md §7) — never totals that feed outputs.
 template <typename Index, typename Body>
 double parallel_reduce_sum(Index begin, Index end, Body&& body) {
   const auto n = static_cast<std::int64_t>(end) - static_cast<std::int64_t>(begin);
   double total = 0.0;
-#pragma omp parallel for schedule(static) reduction(+ : total)
+#pragma omp parallel for schedule(static) reduction(+ : total) \
+    num_threads(effective_workers())
   for (std::int64_t i = 0; i < n; ++i) {
     total += body(static_cast<Index>(begin + i));
   }
@@ -74,7 +92,7 @@ auto parallel_reduce_max(Index begin, Index end, Body&& body)
   const auto n = static_cast<std::int64_t>(end) - static_cast<std::int64_t>(begin);
   Value best{};
   bool first = true;
-#pragma omp parallel
+#pragma omp parallel num_threads(effective_workers())
   {
     Value local{};
     bool local_first = true;

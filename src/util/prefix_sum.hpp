@@ -8,6 +8,8 @@
 
 #include <omp.h>
 
+#include "util/parallel.hpp"
+
 namespace graffix {
 
 /// In-place exclusive scan; returns the total sum.
@@ -43,7 +45,12 @@ T parallel_exclusive_scan_inplace(std::span<T> values) {
   const std::size_t n = values.size();
   if (n < (1u << 14)) return exclusive_scan_inplace(values);
 
-  const int threads = omp_get_max_threads();
+  // Each member of the team owns exactly one chunk, so the partition
+  // count must equal the real team size — and capping it at
+  // effective_workers() keeps oversubscribed pools from splitting one
+  // core's work into context-switching fragments. The scan result is
+  // independent of the partition count either way.
+  const int threads = effective_workers();
   std::vector<T> block_sums(static_cast<std::size_t>(threads) + 1, T{});
   const std::size_t chunk = (n + threads - 1) / threads;
 

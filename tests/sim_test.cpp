@@ -359,6 +359,40 @@ TEST(Engine, DistinctBanksConflictFree) {
   EXPECT_EQ(stats.bank_conflicts, 0u);
 }
 
+TEST(SweepScratch, BankResizeInvalidatesSegmentStamps) {
+  // Regression: resizing one epoch-stamped table rewinds `epoch` to 0,
+  // so the OTHER table's stale stamps must be cleared too — otherwise a
+  // stamp left at e.g. 3 reads as valid again the moment the rewound
+  // epoch climbs back to 3, and insert_attr_seg falsely reports "already
+  // present" (undercounting attribute transactions).
+  SweepScratch sc;
+  sc.ensure(32, 32);
+  sc.epoch = 3;  // a few warp steps into a sweep
+  EXPECT_EQ(sc.insert_attr_seg(42), 1u);
+  EXPECT_EQ(sc.insert_attr_seg(42), 0u);
+
+  sc.ensure(32, 64);  // bank table resizes; segment table keeps its size
+  EXPECT_EQ(sc.epoch, 0u);
+  // A fresh sweep reaches epoch 3 again: segment 42 must be new again.
+  sc.epoch = 3;
+  EXPECT_EQ(sc.insert_attr_seg(42), 1u);
+}
+
+TEST(SweepScratch, SegmentResizeInvalidatesBankStamps) {
+  // Mirror image: a segment-table resize (warp size change) rewinds the
+  // epoch, so bank stamps must be cleared or a stale stamp would read as
+  // a same-step bank hit (overcounting conflicts).
+  SweepScratch sc;
+  sc.ensure(32, 32);
+  sc.epoch = 5;
+  sc.bank_epoch[7] = 5;  // lane touched bank 7 this step
+  sc.bank_word[7] = 99;
+
+  sc.ensure(64, 32);  // segment table resizes; bank table keeps its size
+  EXPECT_EQ(sc.epoch, 0u);
+  for (const std::uint64_t stamp : sc.bank_epoch) EXPECT_EQ(stamp, 0u);
+}
+
 TEST(CostModel, BankConflictsCostCycles) {
   const SimConfig cfg = test_config();
   CostModel model(cfg);
