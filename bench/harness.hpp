@@ -73,6 +73,13 @@ void print_preprocessing_scaling_table(
     const std::string& title, const std::vector<int>& thread_counts,
     const std::vector<std::vector<core::PreprocessReport>>& runs);
 
+/// Same layout, but over the greedy-phase seconds only (the batched
+/// scenario-1/2 insertion and replica-application rows of Table 5) —
+/// the ISSUE-4 per-phase scaling evidence.
+void print_phase_scaling_table(
+    const std::string& title, const std::vector<int>& thread_counts,
+    const std::vector<std::vector<core::PreprocessReport>>& runs);
+
 /// Prints a Figure 7/8/9-style threshold sweep: one row per threshold with
 /// geomean speedup and inaccuracy columns.
 struct SweepPoint {

@@ -1,0 +1,30 @@
+#include "transform/batch.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace graffix::transform {
+
+namespace {
+
+// -1 = follow the environment; 0/1 = forced by a test.
+int g_serial_override = -1;
+
+bool env_serial() {
+  static const bool forced = [] {
+    const char* value = std::getenv("GRAFFIX_SERIAL_TRANSFORMS");
+    return value != nullptr && std::strcmp(value, "0") != 0;
+  }();
+  return forced;
+}
+
+}  // namespace
+
+bool serial_transforms() {
+  if (g_serial_override >= 0) return g_serial_override != 0;
+  return env_serial();
+}
+
+void set_serial_transforms_for_test(int force) { g_serial_override = force; }
+
+}  // namespace graffix::transform

@@ -1,0 +1,206 @@
+// Round-based conflict-free batching for the order-dependent greedy
+// transform phases (DESIGN.md §7, "batched greedy phases").
+//
+// The serial greedy phases (latency scenario-1/2 edge insertion,
+// replication candidate application) walk a sorted candidate list in
+// order, mutating shared adjacency state as they go. Batching preserves
+// the serial semantics exactly: each round scans the pending candidates
+// in serial order and admits a candidate iff its read/write footprint
+// (a set of adjacency rows) is disjoint from the footprint of EVERY
+// pending candidate scanned before it this round, admitted or deferred.
+// An admitted candidate therefore commutes with all earlier pending
+// work — no earlier pending candidate can read or write any row it
+// touches — so applying the whole batch concurrently and re-scanning
+// the survivors next round reproduces the serial result byte for byte
+// at any thread count.
+//
+// Global edge budgets are order-sensitive in a way row footprints are
+// not (every candidate reads the shared arcs-added counter), so the
+// scan additionally reserves each scanned candidate's worst-case arc
+// cost: a candidate is admitted only while the running reservation
+// still fits the budget, which guarantees no admitted candidate's
+// serial budget check could have fired. When the first pending
+// candidate no longer fits, every candidate before it has been applied,
+// its exact serial counter is reconstructible, and it runs under the
+// serial reference semantics (including the hard budget break).
+//
+// The pre-batching serial loops are kept as the reference oracle:
+// setting GRAFFIX_SERIAL_TRANSFORMS=1 in the environment (or
+// set_serial_transforms_for_test) forces them process-wide, and
+// tests/transform_differential_test.cpp pins batched == serial on the
+// whole generator suite.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "util/parallel.hpp"
+#include "util/types.hpp"
+
+namespace graffix::transform {
+
+/// True when the serial reference oracle is forced: the greedy phases
+/// run their original strictly-serial loops instead of conflict-free
+/// batching. Driven by the GRAFFIX_SERIAL_TRANSFORMS environment
+/// variable (any value except "0"), read once per process.
+[[nodiscard]] bool serial_transforms();
+
+/// Test override: 1 forces serial, 0 forces batched, -1 restores the
+/// environment-variable behavior.
+void set_serial_transforms_for_test(int force);
+
+/// Epoch-stamped row-claim set: O(1) clear, O(1) claim/lookup. One
+/// instance is reused across all rounds of a phase so the stamp array is
+/// allocated once.
+class RowClaims {
+ public:
+  explicit RowClaims(std::size_t rows) : stamp_(rows, 0) {}
+
+  /// Forgets all claims (epoch bump; the stamp array is rewritten only
+  /// on the ~never-happens epoch wraparound).
+  void clear() {
+    if (++epoch_ == 0) {
+      std::fill(stamp_.begin(), stamp_.end(), 0u);
+      epoch_ = 1;
+    }
+  }
+
+  [[nodiscard]] bool claimed(NodeId row) const {
+    return stamp_[row] == epoch_;
+  }
+  void claim(NodeId row) { stamp_[row] = epoch_; }
+
+  [[nodiscard]] bool any_claimed(std::span<const NodeId> rows) const {
+    for (NodeId row : rows) {
+      if (claimed(row)) return true;
+    }
+    return false;
+  }
+  void claim_all(std::span<const NodeId> rows) {
+    for (NodeId row : rows) claim(row);
+  }
+
+ private:
+  std::vector<std::uint32_t> stamp_;
+  std::uint32_t epoch_ = 0;  // 0 is never a live epoch
+};
+
+/// Per-phase batching telemetry (printed by the Table 5 bench).
+struct BatchTelemetry {
+  std::uint64_t rounds = 0;        // conflict-free rounds executed
+  std::uint64_t batched = 0;       // candidates applied inside batches
+  std::uint64_t serial_steps = 0;  // budget-tail candidates run serially
+  std::uint64_t max_batch = 0;     // largest single batch
+};
+
+/// Drives one greedy phase through conflict-free rounds.
+///
+/// Candidates are identified by their position in the phase's sorted
+/// list (0..n_candidates), which IS the serial processing order.
+/// Callbacks:
+///   footprint(idx, rows)  — appends the adjacency rows candidate idx
+///                           reads or writes, evaluated on current state.
+///   cost_cap(idx)         — worst-case arcs the candidate can insert
+///                           (an upper bound valid for the candidate's
+///                           eventual serial execution, e.g. the
+///                           per-anchor knob cap).
+///   apply(idx)            — executes the candidate, returns arcs
+///                           inserted. Called from a parallel loop for
+///                           batch members; admission guarantees members
+///                           touch disjoint rows and that `arcs_used`
+///                           stays at its round-entry value while the
+///                           batch runs.
+///   serial_step(idx, serial_arcs_before)
+///                         — executes the candidate under the exact
+///                           serial semantics (per-insertion budget
+///                           checks against the reconstructed serial
+///                           counter), returns arcs inserted.
+///
+/// `arcs_used` is the phase's shared arcs-added counter (may carry
+/// arcs from an earlier phase); the phase ends early once it reaches
+/// `budget`, mirroring the serial loops' top-of-loop break. Phases with
+/// no budget semantics pass budget = UINT64_MAX and a zero cost_cap.
+template <typename FootprintFn, typename CostFn, typename ApplyFn,
+          typename SerialStepFn>
+BatchTelemetry run_budgeted_rounds(std::size_t n_candidates, RowClaims& claims,
+                                   std::uint64_t budget,
+                                   std::uint64_t& arcs_used,
+                                   FootprintFn&& footprint, CostFn&& cost_cap,
+                                   ApplyFn&& apply, SerialStepFn&& serial_step) {
+  BatchTelemetry telemetry;
+  const std::uint64_t entry_arcs = arcs_used;
+  std::vector<std::uint32_t> pending(n_candidates);
+  std::iota(pending.begin(), pending.end(), 0u);
+  // Arcs actually inserted per candidate position; prefix sums over it
+  // reconstruct the exact serial counter for the budget-tail path.
+  std::vector<std::uint64_t> actual(n_candidates, 0);
+  std::vector<std::uint32_t> batch, kept;
+  std::vector<NodeId> rows;
+  while (!pending.empty()) {
+    claims.clear();
+    batch.clear();
+    kept.clear();
+    std::uint64_t reserved = 0;  // worst-case arcs of scanned candidates
+    bool budget_stop = false;
+    std::size_t scan = 0;
+    for (; scan < pending.size(); ++scan) {
+      const std::uint32_t idx = pending[scan];
+      const std::uint64_t cost = cost_cap(idx);
+      if (arcs_used + reserved + cost > budget) {
+        budget_stop = true;
+        break;
+      }
+      // Reserve even when deferring: a deferred candidate still runs
+      // before every later candidate in serial order, so later
+      // admissions must leave room for its worst case.
+      reserved += cost;
+      rows.clear();
+      footprint(idx, rows);
+      if (claims.any_claimed(rows)) {
+        kept.push_back(idx);
+      } else {
+        batch.push_back(idx);
+      }
+      claims.claim_all(rows);
+    }
+    if (budget_stop && batch.empty() && kept.empty()) {
+      // First pending candidate: everything before it (in serial order)
+      // has been applied, so its serial counter is exact.
+      const std::uint32_t idx = pending.front();
+      std::uint64_t serial_before = entry_arcs;
+      for (std::uint32_t i = 0; i < idx; ++i) serial_before += actual[i];
+      if (serial_before >= budget) {
+        // The serial loop breaks here; monotonicity of the serial
+        // counter means it would also have broken before every later
+        // candidate (none of which can have been admitted: admission
+        // proves the serial counter stays below the budget).
+        pending.clear();
+        break;
+      }
+      const std::uint64_t got = serial_step(idx, serial_before);
+      actual[idx] = got;
+      arcs_used += got;
+      ++telemetry.serial_steps;
+      pending.erase(pending.begin());
+      continue;
+    }
+    if (!batch.empty()) {
+      parallel_for_each_dynamic(
+          batch, [&](std::uint32_t idx, std::size_t) { actual[idx] = apply(idx); });
+      for (std::uint32_t idx : batch) arcs_used += actual[idx];
+      telemetry.batched += batch.size();
+      telemetry.max_batch = std::max<std::uint64_t>(telemetry.max_batch,
+                                                    batch.size());
+    }
+    ++telemetry.rounds;
+    if (budget_stop) {
+      kept.insert(kept.end(), pending.begin() + scan, pending.end());
+    }
+    pending.swap(kept);
+  }
+  return telemetry;
+}
+
+}  // namespace graffix::transform

@@ -16,6 +16,8 @@ CoalescingResult coalescing_transform(const Csr& graph,
   result.edges_added = rep.edges_added;
   result.holes_total = rep.holes_total;
   result.holes_filled = rep.holes_filled;
+  result.greedy_seconds = rep.greedy_seconds;
+  result.batching = rep.batching;
 
   const double before = static_cast<double>(graph.memory_bytes());
   const double after = static_cast<double>(result.graph.memory_bytes());

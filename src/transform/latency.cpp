@@ -6,8 +6,10 @@
 
 #include "graph/properties.hpp"
 #include "graph/rebuild.hpp"
+#include "transform/batch.hpp"
 #include "util/parallel.hpp"
 #include "util/macros.hpp"
+#include "util/timer.hpp"
 
 namespace graffix::transform {
 
@@ -153,17 +155,6 @@ LatencyResult latency_transform(const Csr& graph, const LatencyKnobs& knobs) {
   std::vector<std::vector<Arc>> extra(n);
   std::uint64_t arcs_added = 0;
 
-  // One directed arc per insertion: the clustering coefficient is
-  // defined on the undirected view (§3), so a single arc raises it just
-  // as well, while a reciprocal pair would create a 2-cycle whose rank
-  // oscillation measurably slows PageRank-style iterations.
-  auto add_undirected = [&](NodeId a, NodeId b, Weight w) {
-    if (b < a) std::swap(a, b);
-    extra[a].push_back({b, w});
-    und_insert(und, a, b, w);
-    arcs_added += 1;
-  };
-
   // Candidate lists sorted by CC (descending) with deterministic ties.
   std::vector<NodeId> near_nodes, high_nodes;
   for (NodeId u = 0; u < n; ++u) {
@@ -181,10 +172,28 @@ LatencyResult latency_transform(const Csr& graph, const LatencyKnobs& knobs) {
   std::sort(near_nodes.begin(), near_nodes.end(), by_cc_desc);
   std::sort(high_nodes.begin(), high_nodes.end(), by_cc_desc);
 
-  // Scenario 1: lift near-threshold nodes over the cutoff by linking
-  // sibling pairs that already share a common neighbor.
-  for (NodeId u : near_nodes) {
-    if (arcs_added >= budget) break;
+  // --- Greedy insertion phases (scenario 1 + 2) ------------------------
+  // One directed arc per insertion: the clustering coefficient is
+  // defined on the undirected view (§3), so a single arc raises it just
+  // as well, while a reciprocal pair would create a 2-cycle whose rank
+  // oscillation measurably slows PageRank-style iterations.
+  auto insert_pair = [&](NodeId a, NodeId b, Weight w) {
+    if (b < a) std::swap(a, b);
+    extra[a].push_back({b, w});
+    und_insert(und, a, b, w);
+  };
+
+  // One scenario-1 anchor, exactly as the serial greedy loop executes
+  // it: lift the near-threshold node over the cutoff by linking sibling
+  // pairs that already share a common neighbor (pass 1, the paper's
+  // "preferentially"), falling back to arbitrary non-adjacent sibling
+  // pairs (pass 2) while the CC deficit is unmet. `arcs_at_entry` is
+  // the global arcs-added count a serial run sees on entry; insertions
+  // stop once the running count reaches the budget. Touches only rows
+  // in the anchor's closed neighborhood, which is what makes the
+  // conflict-free batching below serial-exact (transform/batch.hpp).
+  auto scenario1_anchor = [&](NodeId u,
+                              std::uint64_t arcs_at_entry) -> std::uint64_t {
     const auto d = static_cast<NodeId>(und[u].size());
     const double pairs = static_cast<double>(d) * (d - 1) / 2.0;
     const auto needed = std::min<std::uint64_t>(
@@ -196,28 +205,27 @@ LatencyResult latency_transform(const Csr& graph, const LatencyKnobs& knobs) {
     std::vector<NodeId> siblings;
     siblings.reserve(d);
     for (const Arc& a : und[u]) siblings.push_back(a.dst);
-    // Pass 1 links sibling pairs that already share a common neighbor
-    // (the paper's "preferentially"); pass 2 falls back to arbitrary
-    // non-adjacent sibling pairs if the CC deficit is still unmet.
     for (int pass = 0; pass < 2 && added_here < needed; ++pass) {
       for (NodeId i = 0; i < d && added_here < needed; ++i) {
         for (NodeId j = i + 1; j < d && added_here < needed; ++j) {
-          if (arcs_added >= budget) break;
+          if (arcs_at_entry + added_here >= budget) break;
           const NodeId a = siblings[i], b = siblings[j];
           if (und_has_edge(und, a, b)) continue;
           if (pass == 0 && !have_common_neighbor(und, a, b, u)) continue;
-          add_undirected(a, b, und_weight(und, u, a) + und_weight(und, u, b));
+          insert_pair(a, b, und_weight(und, u, a) + und_weight(und, u, b));
           ++added_here;
         }
       }
     }
     if (added_here > 0) cc[u] = local_cc(und, u, kDegreeCap);
-  }
+    return added_here;
+  };
 
-  // Scenario 2: densify clusters around already-high-CC nodes by linking
-  // their least-connected sibling pairs.
-  for (NodeId u : high_nodes) {
-    if (arcs_added >= budget) break;
+  // One scenario-2 anchor: densify the cluster around an already-high-CC
+  // node by linking its least-connected sibling pair (one insertion per
+  // anchor keeps the approximation small; the budget is the hard stop,
+  // enforced by the caller's top-of-loop check / batch admission).
+  auto scenario2_anchor = [&](NodeId u) -> std::uint64_t {
     std::vector<NodeId> siblings;
     siblings.reserve(und[u].size());
     for (const Arc& a : und[u]) siblings.push_back(a.dst);
@@ -232,17 +240,73 @@ LatencyResult latency_transform(const Csr& graph, const LatencyKnobs& knobs) {
       conn.emplace_back(links, s);
     }
     std::sort(conn.begin(), conn.end());
-    // Link the least-connected pair (one insertion per anchor keeps the
-    // approximation small; the budget is the hard stop).
-    bool done = false;
-    for (std::size_t i = 0; i < conn.size() && !done; ++i) {
-      for (std::size_t j = i + 1; j < conn.size() && !done; ++j) {
+    for (std::size_t i = 0; i < conn.size(); ++i) {
+      for (std::size_t j = i + 1; j < conn.size(); ++j) {
         const NodeId a = conn[i].second, b = conn[j].second;
         if (und_has_edge(und, a, b)) continue;
-        add_undirected(a, b, und_weight(und, u, a) + und_weight(und, u, b));
-        done = true;
+        insert_pair(a, b, und_weight(und, u, a) + und_weight(und, u, b));
+        return 1;
       }
     }
+    return 0;
+  };
+
+  {
+    WallTimer greedy_timer;
+    if (serial_transforms()) {
+      // Serial reference oracle (GRAFFIX_SERIAL_TRANSFORMS): the
+      // original strictly-ordered greedy loops.
+      for (NodeId u : near_nodes) {
+        if (arcs_added >= budget) break;
+        arcs_added += scenario1_anchor(u, arcs_added);
+      }
+      for (NodeId u : high_nodes) {
+        if (arcs_added >= budget) break;
+        arcs_added += scenario2_anchor(u);
+      }
+    } else {
+      // Conflict-free batched rounds, byte-identical to the oracle: an
+      // anchor's reads and writes stay inside its closed neighborhood,
+      // so that neighborhood is its row footprint.
+      RowClaims claims(n);
+      auto footprint = [&](const std::vector<NodeId>& list, std::uint32_t i,
+                           std::vector<NodeId>& rows) {
+        const NodeId u = list[i];
+        rows.push_back(u);
+        for (const Arc& a : und[u]) rows.push_back(a.dst);
+      };
+      const BatchTelemetry s1 = run_budgeted_rounds(
+          near_nodes.size(), claims, budget, arcs_added,
+          [&](std::uint32_t i, std::vector<NodeId>& rows) {
+            footprint(near_nodes, i, rows);
+          },
+          [&](std::uint32_t) {
+            return std::uint64_t{knobs.max_edges_per_anchor};
+          },
+          [&](std::uint32_t i) {
+            // Admission proved the budget cannot bind for any batch
+            // member, so the shared round-entry counter is exact.
+            return scenario1_anchor(near_nodes[i], arcs_added);
+          },
+          [&](std::uint32_t i, std::uint64_t serial_before) {
+            return scenario1_anchor(near_nodes[i], serial_before);
+          });
+      const BatchTelemetry s2 = run_budgeted_rounds(
+          high_nodes.size(), claims, budget, arcs_added,
+          [&](std::uint32_t i, std::vector<NodeId>& rows) {
+            footprint(high_nodes, i, rows);
+          },
+          [&](std::uint32_t) { return std::uint64_t{1}; },
+          [&](std::uint32_t i) { return scenario2_anchor(high_nodes[i]); },
+          [&](std::uint32_t i, std::uint64_t) {
+            return scenario2_anchor(high_nodes[i]);
+          });
+      result.batching.rounds = s1.rounds + s2.rounds;
+      result.batching.batched = s1.batched + s2.batched;
+      result.batching.serial_steps = s1.serial_steps + s2.serial_steps;
+      result.batching.max_batch = std::max(s1.max_batch, s2.max_batch);
+    }
+    result.greedy_seconds = greedy_timer.seconds();
   }
   result.edges_added = arcs_added;
 

@@ -1,11 +1,13 @@
 #include "transform/replicate.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <unordered_map>
 
 #include "graph/rebuild.hpp"
 #include "util/macros.hpp"
 #include "util/parallel.hpp"
+#include "util/timer.hpp"
 
 namespace graffix::transform {
 
@@ -15,6 +17,17 @@ struct Candidate {
   NodeId node;      // primary slot to replicate
   NodeId chunk;     // chunk the node is well connected to
   NodeId edge_count;
+};
+
+/// Outcome of the serial reserve pass for one surviving candidate: the
+/// hole slot it will occupy. Reservation only touches bookkeeping state
+/// (hole pools, replica groups, counters) that the apply phase never
+/// writes, so applies can run in conflict-free batched rounds afterwards
+/// without changing any reserve decision.
+struct Reservation {
+  NodeId node;     // primary being replicated
+  NodeId chunk;    // chunk the primary is well connected to
+  NodeId replica;  // hole slot the replica occupies
 };
 
 }  // namespace
@@ -119,29 +132,64 @@ ReplicationResult replicate_into_holes(const Csr& renumbered,
 
   // --- Parent-chunk preference ---------------------------------------------
   // For a chunk C, prefer placing replicas in the level-(l-1) chunk holding
-  // the most in-neighbors (BFS parents) of C's members.
+  // the most in-neighbors (BFS parents) of C's members. The full
+  // (score desc, chunk asc) preference list per distinct candidate chunk
+  // is a pure function of the immutable reverse graph, so it is computed
+  // up front in parallel; the reserve pass walks it to the first chunk
+  // that still has a free hole — exactly the argmax the old per-candidate
+  // scan produced, evaluated against the live hole pools.
   const Csr reverse = renumbered.transpose();
-  auto parent_chunk_hint = [&](NodeId c) -> NodeId {
-    const NodeId lvl = chunk_level[c];
-    if (lvl == 0) return kInvalidNode;
-    std::unordered_map<NodeId, NodeId> score;
-    const NodeId lo = c * k, hi = lo + k;
-    for (NodeId s = lo; s < hi; ++s) {
-      if (renumbered.is_hole(s)) continue;
-      for (NodeId p : reverse.neighbors(s)) {
-        const NodeId pc = p / k;
-        if (chunk_level[pc] == lvl - 1) score[pc]++;
+  std::unordered_map<NodeId, std::uint32_t> hint_index;  // chunk -> list
+  std::vector<std::vector<NodeId>> hint_lists;
+  {
+    std::vector<NodeId> distinct;
+    for (const Candidate& cand : candidates) {
+      if (hint_index.emplace(cand.chunk, distinct.size()).second) {
+        distinct.push_back(cand.chunk);
       }
     }
-    NodeId best = kInvalidNode, best_score = 0;
-    for (const auto& [pc, sc] : score) {
-      if (chunk_holes[pc].empty()) continue;
-      if (sc > best_score || (sc == best_score && pc < best)) {
-        best = pc;
-        best_score = sc;
+    hint_lists.resize(distinct.size());
+    parallel_for_dynamic(std::size_t{0}, distinct.size(), [&](std::size_t i) {
+      const NodeId c = distinct[i];
+      const NodeId lvl = chunk_level[c];
+      if (lvl == 0) return;
+      std::unordered_map<NodeId, NodeId> score;
+      const NodeId lo = c * k, hi = lo + k;
+      for (NodeId s = lo; s < hi; ++s) {
+        if (renumbered.is_hole(s)) continue;
+        for (NodeId p : reverse.neighbors(s)) {
+          const NodeId pc = p / k;
+          if (chunk_level[pc] == lvl - 1) score[pc]++;
+        }
       }
-    }
-    return best;
+      std::vector<std::pair<NodeId, NodeId>> ranked;  // (chunk, score)
+      ranked.reserve(score.size());
+      for (const auto& [pc, sc] : score) ranked.emplace_back(pc, sc);
+      std::sort(ranked.begin(), ranked.end(),
+                [](const auto& a, const auto& b) {
+                  if (a.second != b.second) return a.second > b.second;
+                  return a.first < b.first;
+                });
+      hint_lists[i].reserve(ranked.size());
+      for (const auto& [pc, sc] : ranked) hint_lists[i].push_back(pc);
+    });
+  }
+
+  // --- Per-level free-hole chunk lists ---------------------------------
+  // Chunks of each level that started with holes, in ascending id order.
+  // Hole pools only ever shrink, so a cursor that skips empty chunks at
+  // the head finds the same chunk as the old O(num_chunks) ascending
+  // fallback scan — without rescanning the prefix per candidate.
+  std::vector<std::vector<NodeId>> level_free_chunks(num_levels);
+  std::vector<std::size_t> level_cursor(num_levels, 0);
+  for (NodeId c = 0; c < num_chunks; ++c) {
+    if (!chunk_holes[c].empty()) level_free_chunks[chunk_level[c]].push_back(c);
+  }
+  auto first_free_chunk = [&](NodeId lvl) -> NodeId {
+    auto& list = level_free_chunks[lvl];
+    std::size_t& cur = level_cursor[lvl];
+    while (cur < list.size() && chunk_holes[list[cur]].empty()) ++cur;
+    return cur < list.size() ? list[cur] : kInvalidNode;
   };
 
   // --- Mutable adjacency ----------------------------------------------------
@@ -163,73 +211,38 @@ ReplicationResult replicate_into_holes(const Csr& renumbered,
   map.group_of_slot.assign(slots, kInvalidNode);
 
   // --- Replication (lines 29-35) -------------------------------------------
-  for (const Candidate& cand : candidates) {
+  // Split into reserve (serial, exact) and apply (batchable). The
+  // reserve step reads and writes only bookkeeping state — hole pools,
+  // free-hole counters, replica groups — which the apply step never
+  // touches, so running every reservation first and the edge rewiring
+  // afterwards is order-equivalent to the original interleaved loop.
+  auto reserve_one = [&](const Candidate& cand) -> std::optional<Reservation> {
     const NodeId lvl = chunk_level[cand.chunk];
-    if (lvl == 0 || level_free_holes[lvl - 1] == 0) continue;
+    if (lvl == 0 || level_free_holes[lvl - 1] == 0) return std::nullopt;
     // Never replicate a replica, and respect the per-node copy cap.
     if (map.group_of_slot[cand.node] != kInvalidNode) {
       const auto& group = map.groups[map.group_of_slot[cand.node]];
-      if (group[0] != cand.node) continue;
-      if (group.size() > knobs.max_replicas_per_node) continue;
+      if (group[0] != cand.node) return std::nullopt;
+      if (group.size() > knobs.max_replicas_per_node) return std::nullopt;
     }
 
-    // Pick the hole: parent-chunk hint, else any chunk with a free hole at
-    // the parent level.
-    NodeId target_chunk = parent_chunk_hint(cand.chunk);
-    if (target_chunk == kInvalidNode) {
-      for (NodeId c = 0; c < num_chunks; ++c) {
-        if (chunk_level[c] == lvl - 1 && !chunk_holes[c].empty()) {
-          target_chunk = c;
+    // Pick the hole: parent-chunk hint, else the lowest-id chunk with a
+    // free hole at the parent level.
+    NodeId target_chunk = kInvalidNode;
+    if (auto it = hint_index.find(cand.chunk); it != hint_index.end()) {
+      for (NodeId pc : hint_lists[it->second]) {
+        if (!chunk_holes[pc].empty()) {
+          target_chunk = pc;
           break;
         }
       }
     }
-    if (target_chunk == kInvalidNode) continue;
+    if (target_chunk == kInvalidNode) target_chunk = first_free_chunk(lvl - 1);
+    if (target_chunk == kInvalidNode) return std::nullopt;
     const NodeId replica = chunk_holes[target_chunk].back();
     chunk_holes[target_chunk].pop_back();
     --level_free_holes[lvl - 1];
     holes[replica] = 0;
-
-    // Move n's edges into the chunk onto the replica.
-    const NodeId chunk_lo = cand.chunk * k;
-    const NodeId chunk_hi = chunk_lo + k;
-    auto in_chunk = [&](NodeId v) { return v >= chunk_lo && v < chunk_hi; };
-    std::vector<Arc> moved;
-    auto& primary_adj = adj[cand.node];
-    for (auto it = primary_adj.begin(); it != primary_adj.end();) {
-      if (in_chunk(it->dst)) {
-        moved.push_back(*it);
-        it = primary_adj.erase(it);
-      } else {
-        ++it;
-      }
-    }
-    result.edges_moved += moved.size();
-
-    // New 2-hop edges inside the chunk (the approximation knob).
-    std::uint32_t added = 0;
-    std::vector<Arc> extra;
-    for (const Arc& hop1 : moved) {
-      if (added >= knobs.max_new_edges_per_replica) break;
-      for (const Arc& hop2 : adj[hop1.dst]) {
-        if (added >= knobs.max_new_edges_per_replica) break;
-        const NodeId q = hop2.dst;
-        if (!in_chunk(q) || q == cand.node || q == replica) continue;
-        const bool exists =
-            std::any_of(moved.begin(), moved.end(),
-                        [q](const Arc& a) { return a.dst == q; }) ||
-            std::any_of(extra.begin(), extra.end(),
-                        [q](const Arc& a) { return a.dst == q; });
-        if (exists) continue;
-        extra.push_back({q, hop1.w + hop2.w});
-        ++added;
-      }
-    }
-    result.edges_added += extra.size();
-
-    auto& replica_adj = adj[replica];
-    replica_adj = std::move(moved);
-    replica_adj.insert(replica_adj.end(), extra.begin(), extra.end());
 
     // Record the replica group.
     NodeId group = map.group_of_slot[cand.node];
@@ -241,6 +254,111 @@ ReplicationResult replicate_into_holes(const Csr& renumbered,
     map.groups[group].push_back(replica);
     map.group_of_slot[replica] = group;
     ++result.holes_filled;
+    return Reservation{cand.node, cand.chunk, replica};
+  };
+
+  // Rewires edges for one reservation; returns (moved, added). Reads
+  // adj rows of the primary and of the chunk's original non-hole slots,
+  // writes the primary's and the replica's rows — the reservation's row
+  // footprint for conflict-free batching (replica slots are original
+  // holes, which no other reservation's 2-hop scan can read: edges only
+  // ever point at original non-holes).
+  auto apply_reservation =
+      [&](const Reservation& res) -> std::pair<std::uint64_t, std::uint64_t> {
+    // Move n's edges into the chunk onto the replica.
+    const NodeId chunk_lo = res.chunk * k;
+    const NodeId chunk_hi = chunk_lo + k;
+    auto in_chunk = [&](NodeId v) { return v >= chunk_lo && v < chunk_hi; };
+    std::vector<Arc> moved;
+    auto& primary_adj = adj[res.node];
+    for (auto it = primary_adj.begin(); it != primary_adj.end();) {
+      if (in_chunk(it->dst)) {
+        moved.push_back(*it);
+        it = primary_adj.erase(it);
+      } else {
+        ++it;
+      }
+    }
+
+    // New 2-hop edges inside the chunk (the approximation knob).
+    std::uint32_t added = 0;
+    std::vector<Arc> extra;
+    for (const Arc& hop1 : moved) {
+      if (added >= knobs.max_new_edges_per_replica) break;
+      for (const Arc& hop2 : adj[hop1.dst]) {
+        if (added >= knobs.max_new_edges_per_replica) break;
+        const NodeId q = hop2.dst;
+        if (!in_chunk(q) || q == res.node || q == res.replica) continue;
+        const bool exists =
+            std::any_of(moved.begin(), moved.end(),
+                        [q](const Arc& a) { return a.dst == q; }) ||
+            std::any_of(extra.begin(), extra.end(),
+                        [q](const Arc& a) { return a.dst == q; });
+        if (exists) continue;
+        extra.push_back({q, hop1.w + hop2.w});
+        ++added;
+      }
+    }
+
+    auto& replica_adj = adj[res.replica];
+    const std::uint64_t n_moved = moved.size();
+    replica_adj = std::move(moved);
+    replica_adj.insert(replica_adj.end(), extra.begin(), extra.end());
+    return {n_moved, extra.size()};
+  };
+
+  {
+    WallTimer greedy_timer;
+    if (serial_transforms()) {
+      // Serial reference oracle (GRAFFIX_SERIAL_TRANSFORMS): reserve and
+      // apply interleaved per candidate, as the original loop ran.
+      for (const Candidate& cand : candidates) {
+        if (const auto res = reserve_one(cand)) {
+          const auto [moved, added] = apply_reservation(*res);
+          result.edges_moved += moved;
+          result.edges_added += added;
+        }
+      }
+    } else {
+      // Reserve everything serially (exact), then apply in conflict-free
+      // batched rounds. There is no edge budget here, so the driver runs
+      // with an unbounded budget and zero per-candidate cost.
+      std::vector<Reservation> reservations;
+      for (const Candidate& cand : candidates) {
+        if (const auto res = reserve_one(cand)) reservations.push_back(*res);
+      }
+      std::vector<std::uint64_t> moved_by(reservations.size(), 0);
+      std::vector<std::uint64_t> added_by(reservations.size(), 0);
+      RowClaims claims(slots);
+      std::uint64_t arcs_unused = 0;
+      result.batching = run_budgeted_rounds(
+          reservations.size(), claims, UINT64_MAX, arcs_unused,
+          [&](std::uint32_t i, std::vector<NodeId>& rows) {
+            const Reservation& res = reservations[i];
+            rows.push_back(res.node);
+            rows.push_back(res.replica);
+            const NodeId lo = res.chunk * k, hi = lo + k;
+            for (NodeId s = lo; s < hi; ++s) {
+              if (!renumbered.is_hole(s)) rows.push_back(s);
+            }
+          },
+          [&](std::uint32_t) { return std::uint64_t{0}; },
+          [&](std::uint32_t i) {
+            std::tie(moved_by[i], added_by[i]) =
+                apply_reservation(reservations[i]);
+            return std::uint64_t{0};
+          },
+          [&](std::uint32_t i, std::uint64_t) {
+            std::tie(moved_by[i], added_by[i]) =
+                apply_reservation(reservations[i]);
+            return std::uint64_t{0};
+          });
+      for (std::size_t i = 0; i < reservations.size(); ++i) {
+        result.edges_moved += moved_by[i];
+        result.edges_added += added_by[i];
+      }
+    }
+    result.greedy_seconds = greedy_timer.seconds();
   }
 
   // --- Rebuild the Csr (shared parallel path) -------------------------------

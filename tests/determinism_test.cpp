@@ -247,6 +247,60 @@ TEST(TransformDeterminism, LatencyBitIdentical) {
   }
 }
 
+TEST(TransformDeterminism, LatencyBatchedGreedyBitIdenticalAtScale) {
+  // Aggressive knobs on a graph large enough that the batched greedy
+  // rounds genuinely shard across workers (thousands of candidates per
+  // round at scale 12): scenario-1/2 insertion must stay bit-identical
+  // at 1, 2, and 8 threads.
+  const Csr g = make_preset(GraphPreset::Rmat26, 12, 7);
+  transform::LatencyKnobs knobs;
+  knobs.cc_threshold = 0.4;
+  knobs.near_delta = 0.3;
+  knobs.edge_budget_fraction = 0.1;
+  const auto ref =
+      at_threads(1, [&] { return transform::latency_transform(g, knobs); });
+  EXPECT_GT(ref.edges_added, 0u);  // the greedy phases must have fired
+  for (int t : {2, 8}) {
+    const auto got =
+        at_threads(t, [&] { return transform::latency_transform(g, knobs); });
+    expect_same_csr(ref.graph, got.graph, "batched latency graph");
+    EXPECT_EQ(ref.edges_added, got.edges_added);
+    EXPECT_EQ(ref.schedule.resident, got.schedule.resident);
+    EXPECT_EQ(ref.batching.rounds, got.batching.rounds) << "threads=" << t;
+    EXPECT_EQ(ref.batching.batched, got.batching.batched) << "threads=" << t;
+    EXPECT_EQ(ref.batching.serial_steps, got.batching.serial_steps)
+        << "threads=" << t;
+  }
+}
+
+TEST(TransformDeterminism, ReplicateIntoHolesBitIdentical) {
+  // Direct replicate_into_holes determinism (CoalescingBitIdentical
+  // covers it only through the driver): reserve is serial by design, so
+  // this pins the batched APPLY rounds across thread counts.
+  const Csr g = make_preset(GraphPreset::Rmat26, 12, 7);
+  const transform::RenumberResult renumber =
+      transform::renumber_bfs_forest(g, 16);
+  const Csr renumbered = transform::apply_renumbering(g, renumber);
+  transform::CoalescingKnobs knobs;
+  knobs.connectedness_threshold = 0.4;
+  const auto ref = at_threads(1, [&] {
+    return transform::replicate_into_holes(renumbered, renumber, knobs);
+  });
+  EXPECT_GT(ref.holes_filled, 0u);  // replication must have engaged
+  for (int t : {2, 8}) {
+    const auto got = at_threads(t, [&] {
+      return transform::replicate_into_holes(renumbered, renumber, knobs);
+    });
+    expect_same_csr(ref.graph, got.graph, "replicate graph");
+    EXPECT_EQ(ref.replicas.groups, got.replicas.groups);
+    EXPECT_EQ(ref.replicas.group_of_slot, got.replicas.group_of_slot);
+    EXPECT_EQ(ref.edges_moved, got.edges_moved);
+    EXPECT_EQ(ref.edges_added, got.edges_added);
+    EXPECT_EQ(ref.holes_filled, got.holes_filled);
+    EXPECT_EQ(ref.batching.rounds, got.batching.rounds) << "threads=" << t;
+  }
+}
+
 TEST(TransformDeterminism, CoalescingBitIdentical) {
   const Csr g = make_preset(GraphPreset::Rmat26, 10, 7);
   const transform::CoalescingKnobs knobs;

@@ -191,6 +191,63 @@ TEST(Latency, WeightedNewEdgesUseTwoHopSum) {
   }
 }
 
+TEST(Latency, GoldenScheduleOnFixedGraph) {
+  // Exact cluster selection on the two-triangle graph with insertion off
+  // (threshold 0.9, budget 0): the four CC=1.0 triangle corners are the
+  // anchor candidates, all with undirected degree 2, so the (degree
+  // desc, cc desc, id) order is 0, 1, 4, 5. Anchor 0 claims its triangle
+  // {0, 1, 2}; anchor 1 is then resident and skipped; anchor 4 claims
+  // {4, 3, 5} (members follow the sorted adjacency row); anchor 5 is
+  // resident. Path nodes 6 and 7 (CC 0) stay unscheduled. Each triangle
+  // has induced diameter 1 -> t = 2 * 1 = 2.
+  const auto result = latency_transform(clustered_graph(), knobs(0.9, 0.0));
+  const auto& schedule = result.schedule;
+  ASSERT_EQ(schedule.clusters.size(), 2u);
+  EXPECT_EQ(schedule.clusters[0].members, (std::vector<NodeId>{0, 1, 2}));
+  EXPECT_EQ(schedule.clusters[1].members, (std::vector<NodeId>{4, 3, 5}));
+  EXPECT_EQ(schedule.clusters[0].inner_iterations, 2u);
+  EXPECT_EQ(schedule.clusters[1].inner_iterations, 2u);
+  EXPECT_EQ(schedule.resident,
+            (std::vector<NodeId>{0, 0, 0, 1, 1, 1, kInvalidNode,
+                                 kInvalidNode}));
+  EXPECT_EQ(schedule.resident_count(), 6u);
+}
+
+TEST(Latency, DegreeCapExcludesHubsFromInsertion) {
+  // kDegreeCap = 64 bounds the O(d^2) sibling scans: a hub whose
+  // undirected degree exceeds the cap is excluded from the scenario-1/2
+  // candidate lists, and its CC is computed over the first 64 sorted
+  // neighbors only. Hub 70 has neighbors 0..69 with sibling edges
+  // (0,1), (2,3), (4,5), (6,7) — all among the first 64 — so its capped
+  // CC is 2*4/(64*63) ~ 0.00198, inside the near window
+  // [0.01 - 0.0085, 0.01). Were the hub a candidate, pass 2 would link
+  // arbitrary non-adjacent sibling pairs (there are thousands); the
+  // degree cap keeps it out, no other node qualifies (pair members have
+  // CC 1.0 and their only sibling pair is already adjacent; the rest
+  // have degree 1), so NOTHING may be inserted.
+  GraphBuilder b(71);
+  auto undirected = [&](NodeId u, NodeId v) {
+    b.add_edge(u, v);
+    b.add_edge(v, u);
+  };
+  for (NodeId v = 0; v < 70; ++v) undirected(70, v);
+  undirected(0, 1);
+  undirected(2, 3);
+  undirected(4, 5);
+  undirected(6, 7);
+  LatencyKnobs k;
+  k.cc_threshold = 0.01;
+  k.near_delta = 0.0085;
+  k.edge_budget_fraction = 1.0;  // the budget must not be the limiter
+  const auto result = latency_transform(b.build(), k);
+  EXPECT_EQ(result.edges_added, 0u);
+  // The capped hub CC is stable and exact: 4 links among the first 64
+  // neighbors; pair members contribute CC 1.0 each; the rest 0.
+  const double hub_cc = 2.0 * 4.0 / (64.0 * 63.0);
+  EXPECT_DOUBLE_EQ(result.mean_cc_before, (hub_cc + 8.0) / 71.0);
+  EXPECT_DOUBLE_EQ(result.mean_cc_after, result.mean_cc_before);
+}
+
 TEST(Latency, RoadGridFormsClustersAfterBoost) {
   RoadGridParams p;
   p.width = 24;

@@ -5,12 +5,15 @@
 // replication is disabled.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstring>
 #include <set>
 
 #include "algorithms/pagerank.hpp"
 #include "algorithms/sssp.hpp"
 #include "gen/rmat.hpp"
 #include "gen/road_grid.hpp"
+#include "gen/suite.hpp"
 #include "graph/validate.hpp"
 #include "transform/coalescing.hpp"
 
@@ -159,6 +162,69 @@ TEST(Replicate, RoadNetworkUsesLowerThreshold) {
   Csr g = generate_road_grid(p);
   const auto result = coalescing_transform(g, default_knobs(0.4));
   EXPECT_TRUE(validate_graph(result.graph).ok);
+}
+
+// --- golden regression ------------------------------------------------
+// Digests captured from the pre-batching serial implementation. They pin
+// the exact output of replicate_into_holes — graph bits, replica groups,
+// and counters — so the hole-placement rewrites (per-level free-chunk
+// lists, precomputed parent-chunk hints, reserve/apply batching) are
+// provably behavior-preserving, not merely plausible.
+
+std::uint64_t fnv(std::uint64_t h, std::uint64_t v) {
+  h ^= v;
+  return h * 1099511628211ull;
+}
+
+std::uint64_t digest_csr(const Csr& g) {
+  std::uint64_t h = 1469598103934665603ull;
+  h = fnv(h, g.num_slots());
+  h = fnv(h, g.num_edges());
+  for (auto o : g.offsets()) h = fnv(h, o);
+  for (auto t : g.targets()) h = fnv(h, t);
+  if (g.has_weights()) {
+    for (auto w : g.weights()) {
+      std::uint32_t bits;
+      std::memcpy(&bits, &w, sizeof(bits));
+      h = fnv(h, bits);
+    }
+  }
+  if (g.has_holes()) {
+    for (auto x : g.holes()) h = fnv(h, x);
+  }
+  return h;
+}
+
+TEST(Replicate, GoldenOutputUnchangedFromSerialBaseline) {
+  struct Golden {
+    GraphPreset preset;
+    double threshold;
+    NodeId holes_total, holes_filled;
+    std::uint64_t moved, added, digest;
+  };
+  const Golden goldens[] = {
+      {GraphPreset::Rmat26, 0.6, 32, 15, 996, 35, 0x9abc7eac41d2b24full},
+      {GraphPreset::LiveJournal, 0.6, 48, 8, 200, 17, 0xaa2e2df3517c9f15ull},
+      {GraphPreset::UsaRoad, 0.4, 368, 32, 69, 8, 0xe2e5080cc3dd0e83ull},
+  };
+  for (const Golden& gold : goldens) {
+    const Csr g = make_preset(gold.preset, 10, 7);
+    const RenumberResult renumber = renumber_bfs_forest(g, 16);
+    const Csr renumbered = apply_renumbering(g, renumber);
+    CoalescingKnobs knobs;
+    knobs.connectedness_threshold = gold.threshold;
+    const auto result = replicate_into_holes(renumbered, renumber, knobs);
+    EXPECT_EQ(result.holes_total, gold.holes_total);
+    EXPECT_EQ(result.holes_filled, gold.holes_filled);
+    EXPECT_EQ(result.edges_moved, gold.moved);
+    EXPECT_EQ(result.edges_added, gold.added);
+    std::uint64_t h = digest_csr(result.graph);
+    for (const auto& group : result.replicas.groups) {
+      for (NodeId s : group) h = fnv(h, s);
+    }
+    for (NodeId s : result.replicas.group_of_slot) h = fnv(h, s);
+    EXPECT_EQ(h, gold.digest) << preset_name(gold.preset);
+  }
 }
 
 TEST(Replicate, ExtraSpaceFractionIsReported) {
