@@ -5,8 +5,6 @@
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 
-#include <omp.h>
-
 namespace graffix {
 
 namespace {
@@ -59,21 +57,43 @@ std::vector<double> betweenness_centrality(const Csr& graph,
   const NodeId slots = graph.num_slots();
   std::vector<double> bc(slots, 0.0);
 
-#pragma omp parallel num_threads(effective_workers())
-  {
-    std::vector<double> local_bc(slots, 0.0);
-    std::vector<NodeId> level(slots);
-    std::vector<double> sigma(slots);
-    std::vector<double> delta(slots);
-    std::vector<NodeId> order;
-    order.reserve(slots);
-#pragma omp for schedule(dynamic, 1)
-    for (std::int64_t i = 0; i < static_cast<std::int64_t>(sources.size());
-         ++i) {
-      brandes_source(graph, sources[i], local_bc, level, sigma, delta, order);
-    }
-#pragma omp critical
-    {
+  // Sources are partitioned into fixed-size blocks keyed by block id
+  // (never by thread id, DESIGN.md §7): each block accumulates its
+  // sources in source order into a private per-slot array, and blocks
+  // are absorbed into `bc` in ascending block order, so the FP sum
+  // grouping — and therefore the output — is bit-identical at every
+  // thread count. (The previous raw `#pragma omp critical` merge summed
+  // per-thread partials in team completion order, which was not.)
+  // Blocks run in bounded-memory waves: a wave holds at most kWave
+  // per-slot accumulators regardless of the source count.
+  constexpr std::size_t kSourcesPerBlock = 32;
+  constexpr std::size_t kWave = 64;
+  const std::size_t num_blocks =
+      (sources.size() + kSourcesPerBlock - 1) / kSourcesPerBlock;
+  std::vector<std::vector<double>> block_bc(std::min(kWave, num_blocks));
+  for (std::size_t wave_lo = 0; wave_lo < num_blocks; wave_lo += kWave) {
+    const std::size_t wave_hi = std::min(wave_lo + kWave, num_blocks);
+    parallel_for_dynamic(
+        wave_lo, wave_hi,
+        [&](std::size_t blk) {
+          auto& local_bc = block_bc[blk - wave_lo];
+          local_bc.assign(slots, 0.0);
+          std::vector<NodeId> level(slots);
+          std::vector<double> sigma(slots);
+          std::vector<double> delta(slots);
+          std::vector<NodeId> order;
+          order.reserve(slots);
+          const std::size_t lo = blk * kSourcesPerBlock;
+          const std::size_t hi =
+              std::min(lo + kSourcesPerBlock, sources.size());
+          for (std::size_t i = lo; i < hi; ++i) {
+            brandes_source(graph, sources[i], local_bc, level, sigma, delta,
+                           order);
+          }
+        },
+        1);
+    for (std::size_t blk = wave_lo; blk < wave_hi; ++blk) {
+      const auto& local_bc = block_bc[blk - wave_lo];
       for (NodeId s = 0; s < slots; ++s) bc[s] += local_bc[s];
     }
   }

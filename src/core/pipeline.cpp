@@ -1,5 +1,6 @@
 #include "core/pipeline.hpp"
 
+#include "transform/validate.hpp"
 #include "util/macros.hpp"
 #include "util/timer.hpp"
 
@@ -33,6 +34,8 @@ const transform::CoalescingResult& Pipeline::apply_coalescing(
   coalescing_ = transform::coalescing_transform(original_, knobs);
   preprocessing_seconds_ = timer.seconds();
   technique_ = Technique::Coalescing;
+  transform::check_transform_phase("pipeline/coalescing", coalescing_->graph,
+                                   &coalescing_->replicas);
   return *coalescing_;
 }
 
@@ -43,6 +46,7 @@ const transform::LatencyResult& Pipeline::apply_latency(
   latency_ = transform::latency_transform(original_, knobs);
   preprocessing_seconds_ = timer.seconds();
   technique_ = Technique::Latency;
+  transform::check_transform_phase("pipeline/latency", latency_->graph);
   return *latency_;
 }
 
@@ -53,6 +57,7 @@ const transform::DivergenceResult& Pipeline::apply_divergence(
   divergence_ = transform::divergence_transform(original_, knobs);
   preprocessing_seconds_ = timer.seconds();
   technique_ = Technique::Divergence;
+  transform::check_transform_phase("pipeline/divergence", divergence_->graph);
   return *divergence_;
 }
 
@@ -63,6 +68,9 @@ const transform::CombinedResult& Pipeline::apply_combined(
   combined_ = transform::combined_transform(original_, knobs);
   preprocessing_seconds_ = timer.seconds();
   technique_ = Technique::Combined;
+  transform::check_transform_phase(
+      "pipeline/combined", combined_->graph,
+      combined_->replicas.empty() ? nullptr : &combined_->replicas);
   return *combined_;
 }
 

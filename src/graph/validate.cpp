@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace graffix {
 
@@ -44,6 +45,12 @@ ValidationReport validate_graph(const Csr& graph) {
     }
   }
   return {};
+}
+
+bool validation_enabled() {
+  const char* value = std::getenv("GRAFFIX_VALIDATE");
+  return value != nullptr && value[0] != '\0' &&
+         !(value[0] == '0' && value[1] == '\0');
 }
 
 }  // namespace graffix

@@ -18,4 +18,11 @@ struct ValidationReport {
 /// no edge points *at* a hole, weights finite and non-negative when present.
 [[nodiscard]] ValidationReport validate_graph(const Csr& graph);
 
+/// True when the GRAFFIX_VALIDATE environment variable is set to a
+/// non-empty value other than "0". Gates the cheap runtime complement to
+/// graffix-lint: transforms and Pipeline re-validate their output after
+/// every phase and abort with the phase name on violation (DESIGN.md §8).
+/// Read per call (not cached) so tests can toggle it.
+[[nodiscard]] bool validation_enabled();
+
 }  // namespace graffix

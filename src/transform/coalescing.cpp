@@ -1,5 +1,7 @@
 #include "transform/coalescing.hpp"
 
+#include "transform/validate.hpp"
+
 namespace graffix::transform {
 
 CoalescingResult coalescing_transform(const Csr& graph,
@@ -7,6 +9,7 @@ CoalescingResult coalescing_transform(const Csr& graph,
   CoalescingResult result;
   result.renumber = renumber_bfs_forest(graph, knobs.chunk_size);
   Csr renumbered = apply_renumbering(graph, result.renumber);
+  check_transform_phase("coalescing/renumber", renumbered);
 
   ReplicationResult rep =
       replicate_into_holes(renumbered, result.renumber, knobs);
@@ -18,6 +21,8 @@ CoalescingResult coalescing_transform(const Csr& graph,
   result.holes_filled = rep.holes_filled;
   result.greedy_seconds = rep.greedy_seconds;
   result.batching = rep.batching;
+  check_transform_phase("coalescing/replicate", result.graph,
+                        &result.replicas);
 
   const double before = static_cast<double>(graph.memory_bytes());
   const double after = static_cast<double>(result.graph.memory_bytes());

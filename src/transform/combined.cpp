@@ -1,5 +1,6 @@
 #include "transform/combined.hpp"
 
+#include "transform/validate.hpp"
 #include "util/timer.hpp"
 
 namespace graffix::transform {
@@ -17,6 +18,8 @@ CombinedResult combined_transform(const Csr& graph,
     result.renumber = std::move(stage.renumber);
     result.replicas = std::move(stage.replicas);
     result.edges_added += stage.edges_added;
+    check_transform_phase("combined/coalescing", result.graph,
+                          &result.replicas);
   }
 
   if (knobs.latency.has_value()) {
@@ -47,6 +50,9 @@ CombinedResult combined_transform(const Csr& graph,
       }
       result.schedule = std::move(filtered);
     }
+    check_transform_phase("combined/latency", result.graph,
+                          result.replicas.empty() ? nullptr
+                                                  : &result.replicas);
   }
 
   if (knobs.divergence.has_value()) {
@@ -59,6 +65,9 @@ CombinedResult combined_transform(const Csr& graph,
       result.warp_order = std::move(stage.warp_order);
     }
     result.edges_added += stage.edges_added;
+    check_transform_phase("combined/divergence", result.graph,
+                          result.replicas.empty() ? nullptr
+                                                  : &result.replicas);
   }
 
   const double before = static_cast<double>(graph.memory_bytes());

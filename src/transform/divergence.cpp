@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "graph/rebuild.hpp"
+#include "transform/validate.hpp"
 #include "util/macros.hpp"
 #include "util/parallel.hpp"
 
@@ -166,6 +167,7 @@ DivergenceResult divergence_transform(const Csr& graph,
   const double before = static_cast<double>(graph.memory_bytes());
   const double after = static_cast<double>(result.graph.memory_bytes());
   result.extra_space_fraction = before == 0.0 ? 0.0 : (after - before) / before;
+  check_transform_phase("divergence", result.graph);
   return result;
 }
 

@@ -7,6 +7,7 @@
 #include "graph/properties.hpp"
 #include "graph/rebuild.hpp"
 #include "transform/batch.hpp"
+#include "transform/validate.hpp"
 #include "util/parallel.hpp"
 #include "util/macros.hpp"
 #include "util/timer.hpp"
@@ -42,6 +43,7 @@ std::vector<std::vector<Arc>> undirected_adjacency(const Csr& graph) {
       if (in[i] == u) continue;
       list.push_back({in[i], weighted ? in_w[i] : Weight{1}});
     }
+    // graffix-lint: allow(R4) comparator is a total order on Arc values ((dst, w) lexicographic); ties are value-identical arcs
     std::sort(list.begin(), list.end(), [](const Arc& a, const Arc& b) {
       if (a.dst != b.dst) return a.dst < b.dst;
       return a.w < b.w;
@@ -169,7 +171,9 @@ LatencyResult latency_transform(const Csr& graph, const LatencyKnobs& knobs) {
     if (cc[a] != cc[b]) return cc[a] > cc[b];
     return a < b;
   };
+  // graffix-lint: allow(R4) by_cc_desc is a total order: node-id ascending tie-break, node ids unique
   std::sort(near_nodes.begin(), near_nodes.end(), by_cc_desc);
+  // graffix-lint: allow(R4) by_cc_desc is a total order: node-id ascending tie-break, node ids unique
   std::sort(high_nodes.begin(), high_nodes.end(), by_cc_desc);
 
   // --- Greedy insertion phases (scenario 1 + 2) ------------------------
@@ -239,6 +243,7 @@ LatencyResult latency_transform(const Csr& graph, const LatencyKnobs& knobs) {
       }
       conn.emplace_back(links, s);
     }
+    // graffix-lint: allow(R4) default less over (links, sibling-id) pairs is a total order: sibling ids are unique
     std::sort(conn.begin(), conn.end());
     for (std::size_t i = 0; i < conn.size(); ++i) {
       for (std::size_t j = i + 1; j < conn.size(); ++j) {
@@ -329,6 +334,7 @@ LatencyResult latency_transform(const Csr& graph, const LatencyKnobs& knobs) {
   for (NodeId u = 0; u < n; ++u) {
     if (cc[u] >= knobs.cc_threshold && und[u].size() >= 2) anchors.push_back(u);
   }
+  // graffix-lint: allow(R4) comparator is a total order: (degree desc, cc desc, node-id asc), node ids unique
   std::sort(anchors.begin(), anchors.end(), [&](NodeId a, NodeId b) {
     if (und[a].size() != und[b].size()) return und[a].size() > und[b].size();
     return by_cc_desc(a, b);
@@ -360,6 +366,7 @@ LatencyResult latency_transform(const Csr& graph, const LatencyKnobs& knobs) {
   const double before = static_cast<double>(graph.memory_bytes());
   const double after = static_cast<double>(result.graph.memory_bytes());
   result.extra_space_fraction = before == 0.0 ? 0.0 : (after - before) / before;
+  check_transform_phase("latency", result.graph);
   return result;
 }
 

@@ -98,6 +98,7 @@ RenumberResult renumber_bfs_forest(const Csr& graph, std::uint32_t k) {
     // Members of level i in slot order — the round-robin visits the j-th
     // neighbor of each parent in the order the parents will be processed.
     std::vector<NodeId> parents = by_level[i];
+    // graffix-lint: allow(R4) comparator is a total order: slot_of_node is injective over the already-placed parents
     std::sort(parents.begin(), parents.end(), [&](NodeId a, NodeId b) {
       return result.slot_of_node[a] < result.slot_of_node[b];
     });

@@ -1,0 +1,82 @@
+#include "transform/validate.hpp"
+
+#include <cstdio>
+
+#include "util/macros.hpp"
+
+namespace graffix::transform {
+
+namespace {
+ValidationReport fail(const char* fmt, unsigned long long a,
+                      unsigned long long b) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), fmt, a, b);
+  return {false, buf};
+}
+}  // namespace
+
+ValidationReport validate_replica_groups(const Csr& graph,
+                                         const ReplicaMap& replicas) {
+  if (replicas.groups.empty() && replicas.group_of_slot.empty()) return {};
+  const NodeId slots = graph.num_slots();
+  if (replicas.group_of_slot.size() != slots) {
+    return fail("group_of_slot has %llu entries for %llu slots",
+                replicas.group_of_slot.size(), slots);
+  }
+  std::vector<std::uint8_t> listed(slots, 0);
+  unsigned long long members_total = 0;
+  for (std::size_t g = 0; g < replicas.groups.size(); ++g) {
+    const auto& group = replicas.groups[g];
+    if (group.empty()) return fail("replica group %llu is empty", g, 0);
+    for (const NodeId member : group) {
+      if (member >= slots) {
+        return fail("replica group %llu lists out-of-range slot %llu", g,
+                    member);
+      }
+      if (listed[member] != 0) {
+        return fail("slot %llu appears in more than one replica group (%llu)",
+                    member, g);
+      }
+      listed[member] = 1;
+      ++members_total;
+      if (graph.is_hole(member)) {
+        return fail("replica group %llu lists hole slot %llu", g, member);
+      }
+      if (replicas.group_of_slot[member] != static_cast<NodeId>(g)) {
+        return fail("slot %llu does not map back to its replica group %llu",
+                    member, g);
+      }
+    }
+  }
+  unsigned long long assigned = 0;
+  for (NodeId s = 0; s < slots; ++s) {
+    if (replicas.group_of_slot[s] != kInvalidNode) {
+      if (replicas.group_of_slot[s] >= replicas.groups.size()) {
+        return fail("slot %llu maps to nonexistent replica group %llu", s,
+                    replicas.group_of_slot[s]);
+      }
+      ++assigned;
+    }
+  }
+  if (assigned != members_total) {
+    return fail(
+        "group_of_slot assigns %llu slots but the groups list %llu members",
+        assigned, members_total);
+  }
+  return {};
+}
+
+void check_transform_phase(const char* phase, const Csr& graph,
+                           const ReplicaMap* replicas) {
+  if (!validation_enabled()) return;
+  ValidationReport report = validate_graph(graph);
+  if (report.ok && replicas != nullptr) {
+    report = validate_replica_groups(graph, *replicas);
+  }
+  GRAFFIX_CHECK(report.ok,
+                "GRAFFIX_VALIDATE: transform phase '%s' produced an invalid "
+                "graph: %s",
+                phase, report.message.c_str());
+}
+
+}  // namespace graffix::transform

@@ -1,0 +1,31 @@
+// Transform-boundary invariant checking — the runtime complement to
+// graffix-lint (DESIGN.md §8). graffix-lint catches policy violations at
+// build time; these checks catch *structural* violations (a transform
+// emitting a malformed CSR or an inconsistent replica map) at run time.
+// They are free unless GRAFFIX_VALIDATE=1 is set, in which case every
+// transform phase re-validates its output and aborts with the phase name
+// on the first violation.
+#pragma once
+
+#include "graph/validate.hpp"
+#include "transform/confluence.hpp"
+
+namespace graffix::transform {
+
+/// Replica-group bijectivity: group_of_slot and groups must describe the
+/// same relation. Checks that group_of_slot covers every slot, that each
+/// listed member is in range, a non-hole, and maps back to its group,
+/// that no slot appears in two groups, and that every slot with an
+/// assigned group is listed — i.e. membership is a bijection between
+/// {slots with group_of_slot != kInvalidNode} and the union of groups.
+[[nodiscard]] ValidationReport validate_replica_groups(
+    const Csr& graph, const ReplicaMap& replicas);
+
+/// When GRAFFIX_VALIDATE is on: validates the graph (and, when given,
+/// the replica map) and aborts naming `phase` on the first violation.
+/// No-op otherwise. Phase names are hierarchical, e.g.
+/// "coalescing/renumber", "pipeline/combined".
+void check_transform_phase(const char* phase, const Csr& graph,
+                           const ReplicaMap* replicas = nullptr);
+
+}  // namespace graffix::transform

@@ -90,6 +90,7 @@ template <typename Index, typename Body>
 double parallel_reduce_sum(Index begin, Index end, Body&& body) {
   const auto n = static_cast<std::int64_t>(end) - static_cast<std::int64_t>(begin);
   double total = 0.0;
+  // graffix-lint: allow(R3) telemetry-only by policy (DESIGN.md §7): this helper may never feed totals into outputs
 #pragma omp parallel for schedule(static) reduction(+ : total) \
     num_threads(effective_workers())
   for (std::int64_t i = 0; i < n; ++i) {

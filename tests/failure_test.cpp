@@ -10,6 +10,9 @@
 #include "graph/csr.hpp"
 #include "sim/engine.hpp"
 #include "transform/renumber.hpp"
+#include "transform/validate.hpp"
+
+#include <cstdlib>
 
 namespace graffix {
 namespace {
@@ -103,6 +106,26 @@ TEST(FailureDeath, WarpOrderMustCoverAllSlots) {
   rc.warp_order = short_order;
   EXPECT_DEATH((void)core::run_algorithm(core::Algorithm::PR, g, rc),
                "warp order");
+}
+
+TEST(FailureDeath, ValidateHookAbortsWithPhaseName) {
+  // Under GRAFFIX_VALIDATE the boundary hook must name the offending
+  // phase in the abort message (that is the whole point of the hook).
+  ::setenv("GRAFFIX_VALIDATE", "1", 1);
+  std::vector<EdgeId> offsets{0, 1, 1};
+  std::vector<NodeId> targets{1};
+  const Csr bad(std::move(offsets), std::move(targets), {}, {0, 1});
+  EXPECT_DEATH(transform::check_transform_phase("unit/bad-phase", bad),
+               "transform phase 'unit/bad-phase'");
+  ::unsetenv("GRAFFIX_VALIDATE");
+}
+
+TEST(FailureDeath, ValidateHookIsInertWhenDisabled) {
+  ::unsetenv("GRAFFIX_VALIDATE");
+  std::vector<EdgeId> offsets{0, 1, 1};
+  std::vector<NodeId> targets{1};
+  const Csr bad(std::move(offsets), std::move(targets), {}, {0, 1});
+  transform::check_transform_phase("unit/ignored", bad);  // must not abort
 }
 
 }  // namespace

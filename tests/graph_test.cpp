@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
+#include <limits>
 #include <string>
 
 #include "graph/builder.hpp"
@@ -161,6 +163,47 @@ TEST(Validate, DetectsEdgeIntoHole) {
 
 TEST(Validate, AcceptsCleanGraph) {
   EXPECT_TRUE(validate_graph(figure1_graph()).ok);
+}
+
+TEST(Validate, DetectsNaNWeight) {
+  std::vector<EdgeId> offsets{0, 1, 1};
+  std::vector<NodeId> targets{1};
+  std::vector<Weight> weights{std::numeric_limits<Weight>::quiet_NaN()};
+  Csr g(std::move(offsets), std::move(targets), std::move(weights));
+  const auto report = validate_graph(g);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.message.find("bad weight"), std::string::npos);
+}
+
+TEST(Validate, DetectsNegativeWeight) {
+  std::vector<EdgeId> offsets{0, 1, 1};
+  std::vector<NodeId> targets{1};
+  std::vector<Weight> weights{-1.0f};
+  Csr g(std::move(offsets), std::move(targets), std::move(weights));
+  EXPECT_FALSE(validate_graph(g).ok);
+}
+
+TEST(Validate, DetectsNonMonotoneOffsets) {
+  // The Csr constructor only pins offsets.back(); a decreasing interior
+  // offset must be caught by validation, not by unsigned-underflow UB.
+  std::vector<EdgeId> offsets{0, 2, 1, 3};
+  std::vector<NodeId> targets{1, 2, 0};
+  Csr g(std::move(offsets), std::move(targets));
+  const auto report = validate_graph(g);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.message.find("not monotone"), std::string::npos);
+}
+
+TEST(Validate, ValidationEnabledReadsEnvironment) {
+  ::unsetenv("GRAFFIX_VALIDATE");
+  EXPECT_FALSE(validation_enabled());
+  ::setenv("GRAFFIX_VALIDATE", "1", 1);
+  EXPECT_TRUE(validation_enabled());
+  ::setenv("GRAFFIX_VALIDATE", "0", 1);
+  EXPECT_FALSE(validation_enabled());
+  ::setenv("GRAFFIX_VALIDATE", "", 1);
+  EXPECT_FALSE(validation_enabled());
+  ::unsetenv("GRAFFIX_VALIDATE");
 }
 
 TEST(Properties, DegreeStats) {

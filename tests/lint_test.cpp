@@ -1,0 +1,338 @@
+// Self-tests for graffix-lint (tools/lint): fixture snippets that must
+// trigger each rule R1-R4 exactly once, scoping negatives (allowlists,
+// bench exemption), the suppression/budget machinery, and the directory
+// walker. The fixtures live here (tests/ is outside the tree lint's
+// scope), so quoting rule patterns below can never fail the lint gate.
+#include "lint.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace lint = graffix::lint;
+
+namespace {
+
+std::size_t count_rule(const lint::Result& result, const char* rule) {
+  std::size_t count = 0;
+  for (const auto& d : result.diagnostics) {
+    if (d.rule == rule) ++count;
+  }
+  return count;
+}
+
+}  // namespace
+
+// --- R1: raw omp pragmas -------------------------------------------------
+
+TEST(LintR1, RawOmpPragmaOutsideSubstrateFiresExactlyOnce) {
+  const auto result = lint::lint_source("src/transform/foo.cpp", R"cpp(
+void f(int* a, int n) {
+#pragma omp parallel for
+  for (int i = 0; i < n; ++i) a[i] = i;
+}
+)cpp");
+  EXPECT_EQ(result.diagnostics.size(), 1u);
+  EXPECT_EQ(count_rule(result, "R1"), 1u);
+  EXPECT_EQ(result.diagnostics[0].line, 3);
+}
+
+TEST(LintR1, SubstrateAllowlistIsExempt) {
+  const auto result = lint::lint_source("src/util/parallel.hpp", R"cpp(
+void f(int* a, int n) {
+#pragma omp parallel for
+  for (int i = 0; i < n; ++i) a[i] = i;
+}
+)cpp");
+  EXPECT_TRUE(result.clean());
+}
+
+TEST(LintR1, PragmaQuotedInStringOrCommentDoesNotFire) {
+  const auto result = lint::lint_source("src/transform/foo.cpp", R"cpp(
+// A comment mentioning #pragma omp parallel is fine.
+const char* s = "#pragma omp parallel for";
+)cpp");
+  EXPECT_TRUE(result.clean());
+}
+
+// --- R2: nondeterminism sources in library code --------------------------
+
+TEST(LintR2, RandCallFiresExactlyOnce) {
+  const auto result = lint::lint_source("src/gen/foo.cpp", R"cpp(
+int f() { return rand(); }
+)cpp");
+  EXPECT_EQ(result.diagnostics.size(), 1u);
+  EXPECT_EQ(count_rule(result, "R2"), 1u);
+}
+
+TEST(LintR2, RandomDeviceFiresExactlyOnce) {
+  const auto result = lint::lint_source("src/gen/foo.cpp", R"cpp(
+#include <random>
+unsigned f() { return std::random_device{}(); }
+)cpp");
+  EXPECT_EQ(result.diagnostics.size(), 1u);
+  EXPECT_EQ(count_rule(result, "R2"), 1u);
+}
+
+TEST(LintR2, UnseededMersenneTwisterFiresExactlyOnce) {
+  const auto result = lint::lint_source("src/gen/foo.cpp", R"cpp(
+#include <random>
+std::mt19937 generator;
+)cpp");
+  EXPECT_EQ(result.diagnostics.size(), 1u);
+  EXPECT_EQ(count_rule(result, "R2"), 1u);
+}
+
+TEST(LintR2, SeededMersenneTwisterIsAccepted) {
+  const auto result = lint::lint_source("src/gen/foo.cpp", R"cpp(
+#include <random>
+std::mt19937 generator(12345u);
+)cpp");
+  EXPECT_TRUE(result.clean());
+}
+
+TEST(LintR2, WallClockReadFiresExactlyOnce) {
+  const auto result = lint::lint_source("src/sim/foo.cpp", R"cpp(
+#include <chrono>
+auto f() { return std::chrono::steady_clock::now(); }
+)cpp");
+  EXPECT_EQ(result.diagnostics.size(), 1u);
+  EXPECT_EQ(count_rule(result, "R2"), 1u);
+}
+
+TEST(LintR2, WallClockInTimerHeaderAndBenchIsExempt) {
+  const char* fixture = R"cpp(
+#include <chrono>
+auto f() { return std::chrono::steady_clock::now(); }
+)cpp";
+  EXPECT_TRUE(lint::lint_source("src/util/timer.hpp", fixture).clean());
+  EXPECT_TRUE(lint::lint_source("bench/harness.cpp", fixture).clean());
+}
+
+TEST(LintR2, RangeForOverUnorderedMapFiresExactlyOnce) {
+  const auto result = lint::lint_source("src/transform/foo.cpp", R"cpp(
+#include <unordered_map>
+int f(const std::unordered_map<int, int>& counts) {
+  int total = 0;
+  for (const auto& [k, v] : counts) total += v;
+  return total;
+}
+)cpp");
+  EXPECT_EQ(result.diagnostics.size(), 1u);
+  EXPECT_EQ(count_rule(result, "R2"), 1u);
+  EXPECT_EQ(result.diagnostics[0].line, 5);
+}
+
+TEST(LintR2, RangeForOverVectorIsAccepted) {
+  const auto result = lint::lint_source("src/transform/foo.cpp", R"cpp(
+#include <vector>
+int f(const std::vector<int>& values) {
+  int total = 0;
+  for (int v : values) total += v;
+  return total;
+}
+)cpp");
+  EXPECT_TRUE(result.clean());
+}
+
+TEST(LintR2, LibraryScopeOnlyBenchAndToolsAreExempt) {
+  const char* fixture = R"cpp(
+int f() { return rand(); }
+)cpp";
+  EXPECT_FALSE(lint::lint_source("src/core/foo.cpp", fixture).clean());
+  EXPECT_TRUE(lint::lint_source("bench/bench_foo.cpp", fixture).clean());
+  EXPECT_TRUE(lint::lint_source("tools/cli_commands.cpp", fixture).clean());
+}
+
+// --- R3: floating-point omp reduction ------------------------------------
+
+TEST(LintR3, FloatingPointReductionFiresExactlyOnce) {
+  // Path on the R1 allowlist, so the single diagnostic is the R3 one:
+  // FP reductions are banned even inside the substrate.
+  const auto result = lint::lint_source("src/util/parallel.hpp", R"cpp(
+double f(const double* a, int n) {
+  double total = 0.0;
+#pragma omp parallel for reduction(+ : total)
+  for (int i = 0; i < n; ++i) total += a[i];
+  return total;
+}
+)cpp");
+  EXPECT_EQ(result.diagnostics.size(), 1u);
+  EXPECT_EQ(count_rule(result, "R3"), 1u);
+  EXPECT_EQ(result.diagnostics[0].line, 4);
+}
+
+TEST(LintR3, IntegerReductionIsAccepted) {
+  const auto result = lint::lint_source("src/util/parallel.hpp", R"cpp(
+long f(const int* a, int n) {
+  long total = 0;
+#pragma omp parallel for reduction(+ : total)
+  for (int i = 0; i < n; ++i) total += a[i];
+  return total;
+}
+)cpp");
+  EXPECT_TRUE(result.clean());
+}
+
+TEST(LintR3, ContinuationLinesAreJoined) {
+  const auto result = lint::lint_source("src/util/parallel.hpp",
+                                        "double g(int n) {\n"
+                                        "  double acc = 0.0;\n"
+                                        "#pragma omp parallel for \\\n"
+                                        "    reduction(+ : acc)\n"
+                                        "  for (int i = 0; i < n; ++i) acc += i;\n"
+                                        "  return acc;\n"
+                                        "}\n");
+  EXPECT_EQ(count_rule(result, "R3"), 1u);
+}
+
+// --- R4: std::sort in transform/sim --------------------------------------
+
+TEST(LintR4, StdSortInTransformFiresExactlyOnce) {
+  const auto result = lint::lint_source("src/transform/foo.cpp", R"cpp(
+#include <algorithm>
+#include <vector>
+void f(std::vector<int>& v) { std::sort(v.begin(), v.end()); }
+)cpp");
+  EXPECT_EQ(result.diagnostics.size(), 1u);
+  EXPECT_EQ(count_rule(result, "R4"), 1u);
+}
+
+TEST(LintR4, StableSortIsAccepted) {
+  const auto result = lint::lint_source("src/transform/foo.cpp", R"cpp(
+#include <algorithm>
+#include <vector>
+void f(std::vector<int>& v) { std::stable_sort(v.begin(), v.end()); }
+)cpp");
+  EXPECT_TRUE(result.clean());
+}
+
+TEST(LintR4, SortOutsideTransformAndSimIsAccepted) {
+  const char* fixture = R"cpp(
+#include <algorithm>
+#include <vector>
+void f(std::vector<int>& v) { std::sort(v.begin(), v.end()); }
+)cpp";
+  EXPECT_TRUE(lint::lint_source("src/algorithms/foo.cpp", fixture).clean());
+  EXPECT_TRUE(lint::lint_source("src/graph/foo.cpp", fixture).clean());
+}
+
+// --- Suppressions --------------------------------------------------------
+
+TEST(LintSuppression, SameLineAllowSuppressesAndIsCounted) {
+  const auto result = lint::lint_source("src/transform/foo.cpp", R"cpp(
+#include <algorithm>
+#include <vector>
+void f(std::vector<int>& v) { std::sort(v.begin(), v.end()); }  // graffix-lint: allow(R4) ints sort totally
+)cpp");
+  EXPECT_TRUE(result.clean());
+  ASSERT_EQ(result.suppressions.size(), 1u);
+  EXPECT_EQ(result.suppressions[0].rule, "R4");
+  EXPECT_EQ(result.suppressions[0].reason, "ints sort totally");
+}
+
+TEST(LintSuppression, PreviousLineAllowSuppresses) {
+  const auto result = lint::lint_source("src/transform/foo.cpp", R"cpp(
+#include <algorithm>
+#include <vector>
+void f(std::vector<int>& v) {
+  // graffix-lint: allow(R4) ints sort totally
+  std::sort(v.begin(), v.end());
+}
+)cpp");
+  EXPECT_TRUE(result.clean());
+  EXPECT_EQ(result.suppressions.size(), 1u);
+}
+
+TEST(LintSuppression, WrongRuleDoesNotSuppress) {
+  const auto result = lint::lint_source("src/transform/foo.cpp", R"cpp(
+#include <algorithm>
+#include <vector>
+void f(std::vector<int>& v) {
+  // graffix-lint: allow(R1) wrong rule id
+  std::sort(v.begin(), v.end());
+}
+)cpp");
+  // The R4 diagnostic survives and the unmatched allow(R1) is itself
+  // flagged as unused.
+  EXPECT_EQ(count_rule(result, "R4"), 1u);
+  EXPECT_EQ(count_rule(result, "SUP"), 1u);
+}
+
+TEST(LintSuppression, MissingReasonIsADiagnostic) {
+  const auto result = lint::lint_source("src/transform/foo.cpp", R"cpp(
+#include <algorithm>
+#include <vector>
+void f(std::vector<int>& v) {
+  // graffix-lint: allow(R4)
+  std::sort(v.begin(), v.end());
+}
+)cpp");
+  // Reasonless suppressions never apply, so both the SUP diagnostic and
+  // the original R4 diagnostic are reported.
+  EXPECT_EQ(count_rule(result, "SUP"), 1u);
+  EXPECT_EQ(count_rule(result, "R4"), 1u);
+}
+
+TEST(LintSuppression, UnusedSuppressionIsADiagnostic) {
+  const auto result = lint::lint_source("src/transform/foo.cpp", R"cpp(
+// graffix-lint: allow(R4) nothing to suppress here
+int f() { return 1; }
+)cpp");
+  EXPECT_EQ(count_rule(result, "SUP"), 1u);
+}
+
+TEST(LintSuppression, DirectiveMustStartTheComment) {
+  // Mentioning the directive mid-comment (e.g. when documenting it) must
+  // not register a suppression.
+  const auto result = lint::lint_source("src/transform/foo.cpp", R"cpp(
+// The syntax is: graffix-lint: allow(R4) <reason>, on the flagged line.
+int f() { return 1; }
+)cpp");
+  EXPECT_TRUE(result.clean());
+}
+
+// --- Directory walking + report ------------------------------------------
+
+TEST(LintPaths, WalksDirectoriesAndAggregates) {
+  namespace fs = std::filesystem;
+  const fs::path root =
+      fs::path(::testing::TempDir()) / "graffix_lint_walk" / "src";
+  fs::create_directories(root / "transform");
+  {
+    std::ofstream out(root / "transform" / "bad.cpp");
+    out << "#pragma omp parallel for\n";
+  }
+  {
+    std::ofstream out(root / "transform" / "good.cpp");
+    out << "int f() { return 1; }\n";
+  }
+  {
+    std::ofstream out(root / "transform" / "notes.txt");
+    out << "#pragma omp parallel for (ignored: not a source file)\n";
+  }
+  const auto result = lint::lint_paths({(root.parent_path()).string()});
+  EXPECT_EQ(result.diagnostics.size(), 1u);
+  EXPECT_EQ(count_rule(result, "R1"), 1u);
+  fs::remove_all(root.parent_path());
+}
+
+TEST(LintPaths, MissingPathIsReported) {
+  const auto result =
+      lint::lint_paths({"/nonexistent/graffix/lint/path"});
+  EXPECT_EQ(count_rule(result, "SUP"), 1u);
+}
+
+TEST(LintReport, BudgetListsSuppressionsPerRule) {
+  const auto result = lint::lint_source("src/transform/foo.cpp", R"cpp(
+#include <algorithm>
+#include <vector>
+void f(std::vector<int>& v) { std::sort(v.begin(), v.end()); }  // graffix-lint: allow(R4) ints sort totally
+)cpp");
+  const std::string report = lint::format_report(result);
+  EXPECT_NE(report.find("diagnostics: 0"), std::string::npos);
+  EXPECT_NE(report.find("suppression budget: 1 used"), std::string::npos);
+  EXPECT_NE(report.find("R4: 1"), std::string::npos);
+  EXPECT_NE(report.find("ints sort totally"), std::string::npos);
+}

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 
 #include "core/pipeline.hpp"
 #include "gen/rmat.hpp"
@@ -38,6 +39,26 @@ TEST(Pipeline, ApplyCoalescingSwitchesCurrent) {
   EXPECT_TRUE(validate_graph(pipeline.current()).ok);
   EXPECT_GE(pipeline.preprocessing_seconds(), 0.0);
   EXPECT_EQ(pipeline.edges_added(), result.edges_added);
+}
+
+TEST(Pipeline, ValidateModeAcceptsAllTechniques) {
+  // With GRAFFIX_VALIDATE on, every transform boundary re-validates its
+  // output; a healthy pipeline must sail through all four techniques.
+  ::setenv("GRAFFIX_VALIDATE", "1", 1);
+  Pipeline pipeline(small_rmat());
+  transform::CoalescingKnobs coalescing;
+  coalescing.connectedness_threshold = 0.3;
+  pipeline.apply_coalescing(coalescing);
+  pipeline.apply_latency({});
+  pipeline.apply_divergence({});
+  transform::CombinedKnobs combined;
+  combined.coalescing = coalescing;
+  combined.latency = transform::LatencyKnobs{};
+  combined.divergence = transform::DivergenceKnobs{};
+  pipeline.apply_combined(combined);
+  ::unsetenv("GRAFFIX_VALIDATE");
+  EXPECT_EQ(pipeline.technique(), Technique::Combined);
+  EXPECT_TRUE(validate_graph(pipeline.current()).ok);
 }
 
 TEST(Pipeline, ResetRestoresOriginal) {

@@ -16,6 +16,7 @@
 #include "gen/suite.hpp"
 #include "graph/validate.hpp"
 #include "transform/coalescing.hpp"
+#include "transform/validate.hpp"
 
 namespace graffix::transform {
 namespace {
@@ -73,6 +74,66 @@ TEST(Replicate, GroupOfSlotIsConsistent) {
       EXPECT_EQ(map.group_of_slot[s], kInvalidNode);
     }
   }
+}
+
+TEST(ReplicaGroups, TransformOutputPassesBijectivityCheck) {
+  const auto result = coalescing_transform(small_rmat(), default_knobs());
+  ASSERT_FALSE(result.replicas.empty());
+  EXPECT_TRUE(validate_replica_groups(result.graph, result.replicas).ok);
+}
+
+TEST(ReplicaGroups, EmptyMapIsValid) {
+  const Csr g = small_rmat();
+  EXPECT_TRUE(validate_replica_groups(g, ReplicaMap{}).ok);
+}
+
+TEST(ReplicaGroups, DetectsSlotListedTwice) {
+  auto result = coalescing_transform(small_rmat(), default_knobs());
+  ASSERT_GE(result.replicas.groups.size(), 2u);
+  // Smuggle a member of group 0 into group 1 as well.
+  result.replicas.groups[1].push_back(result.replicas.groups[0][0]);
+  const auto report =
+      validate_replica_groups(result.graph, result.replicas);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.message.find("more than one"), std::string::npos);
+}
+
+TEST(ReplicaGroups, DetectsBrokenBackMap) {
+  auto result = coalescing_transform(small_rmat(), default_knobs());
+  ASSERT_FALSE(result.replicas.empty());
+  // A listed member whose group_of_slot entry points elsewhere.
+  result.replicas.group_of_slot[result.replicas.groups[0][0]] = kInvalidNode;
+  const auto report =
+      validate_replica_groups(result.graph, result.replicas);
+  EXPECT_FALSE(report.ok);
+}
+
+TEST(ReplicaGroups, DetectsAssignmentWithoutMembership) {
+  auto result = coalescing_transform(small_rmat(), default_knobs());
+  ASSERT_FALSE(result.replicas.empty());
+  // An unlisted slot claiming membership breaks the member count.
+  const NodeId slots = result.graph.num_slots();
+  for (NodeId s = 0; s < slots; ++s) {
+    if (result.replicas.group_of_slot[s] == kInvalidNode) {
+      result.replicas.group_of_slot[s] = 0;
+      break;
+    }
+  }
+  EXPECT_FALSE(validate_replica_groups(result.graph, result.replicas).ok);
+}
+
+TEST(ReplicaGroups, DetectsEmptyGroup) {
+  auto result = coalescing_transform(small_rmat(), default_knobs());
+  ASSERT_FALSE(result.replicas.empty());
+  result.replicas.groups.push_back({});
+  EXPECT_FALSE(validate_replica_groups(result.graph, result.replicas).ok);
+}
+
+TEST(ReplicaGroups, DetectsWrongSlotCount) {
+  auto result = coalescing_transform(small_rmat(), default_knobs());
+  ASSERT_FALSE(result.replicas.empty());
+  result.replicas.group_of_slot.pop_back();
+  EXPECT_FALSE(validate_replica_groups(result.graph, result.replicas).ok);
 }
 
 TEST(Replicate, EdgeCountConserved) {

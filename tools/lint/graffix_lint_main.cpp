@@ -1,0 +1,70 @@
+// graffix-lint CLI.
+//
+//   graffix-lint [--report <path>] [--max-suppressions <n>] <path>...
+//
+// Lints every .hpp/.cpp/.h/.cc under the given paths, prints diagnostics
+// as file:line: [RULE] message, prints the suppression budget, and exits
+// non-zero on any diagnostic (or when the used-suppression count exceeds
+// --max-suppressions, default unlimited). --report additionally writes
+// the full report to a file (the CI artifact).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+int main(int argc, char** argv) {
+  std::string report_path;
+  long max_suppressions = -1;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--report" && i + 1 < argc) {
+      report_path = argv[++i];
+    } else if (arg == "--max-suppressions" && i + 1 < argc) {
+      max_suppressions = std::strtol(argv[++i], nullptr, 10);
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: graffix-lint [--report <path>] [--max-suppressions <n>] "
+          "<path>...\n");
+      return 0;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr, "graffix-lint: no paths given (try --help)\n");
+    return 2;
+  }
+
+  const graffix::lint::Result result = graffix::lint::lint_paths(paths);
+  const std::string report = graffix::lint::format_report(result);
+  std::fputs(report.c_str(), stdout);
+  if (!report_path.empty()) {
+    std::ofstream out(report_path);
+    if (!out) {
+      std::fprintf(stderr, "graffix-lint: cannot write report to %s\n",
+                   report_path.c_str());
+      return 2;
+    }
+    out << report;
+  }
+
+  if (!result.diagnostics.empty()) {
+    std::fprintf(stderr, "graffix-lint: %zu diagnostic(s)\n",
+                 result.diagnostics.size());
+    return 1;
+  }
+  if (max_suppressions >= 0 &&
+      result.suppressions.size() > static_cast<std::size_t>(max_suppressions)) {
+    std::fprintf(stderr,
+                 "graffix-lint: suppression budget exceeded (%zu used > %ld "
+                 "allowed)\n",
+                 result.suppressions.size(), max_suppressions);
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,546 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <sstream>
+
+namespace graffix::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scanner: split a translation unit into per-line code text (comments and
+// string/char literals blanked out) and per-line comment text (delimiters
+// stripped). Rules match against code; suppressions are read from comments,
+// so a rule pattern quoted in a string or a comment never fires.
+// ---------------------------------------------------------------------------
+
+struct ScannedLine {
+  std::string code;
+  std::string comment;
+};
+
+std::vector<ScannedLine> scan(std::string_view content) {
+  enum class State { Normal, LineComment, BlockComment, String, Char, Raw };
+  std::vector<ScannedLine> lines(1);
+  State state = State::Normal;
+  std::string raw_delim;  // raw-string closing delimiter: ")<delim>\""
+
+  auto cur = [&]() -> ScannedLine& { return lines.back(); };
+  const std::size_t n = content.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const char c = content[i];
+    const char next = i + 1 < n ? content[i + 1] : '\0';
+    if (c == '\n') {
+      if (state == State::LineComment) state = State::Normal;
+      // Unterminated literals at EOL: keep state for block comments and
+      // raw strings (legitimately multi-line); reset the rest defensively.
+      if (state == State::String || state == State::Char) state = State::Normal;
+      lines.emplace_back();
+      continue;
+    }
+    switch (state) {
+      case State::Normal:
+        if (c == '/' && next == '/') {
+          state = State::LineComment;
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::BlockComment;
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(
+                                   content[i - 1])) &&
+                               content[i - 1] != '_'))) {
+          // Raw string literal R"delim( ... )delim"
+          std::size_t j = i + 2;
+          std::string delim;
+          while (j < n && content[j] != '(' && content[j] != '\n') {
+            delim.push_back(content[j]);
+            ++j;
+          }
+          if (j < n && content[j] == '(') {
+            raw_delim = ")" + delim + "\"";
+            state = State::Raw;
+            cur().code.push_back(' ');
+            i = j;
+          } else {
+            cur().code.push_back(c);
+          }
+        } else if (c == '"') {
+          state = State::String;
+          cur().code.push_back('"');
+        } else if (c == '\'') {
+          state = State::Char;
+          cur().code.push_back('\'');
+        } else {
+          cur().code.push_back(c);
+        }
+        break;
+      case State::LineComment:
+        cur().comment.push_back(c);
+        break;
+      case State::BlockComment:
+        if (c == '*' && next == '/') {
+          state = State::Normal;
+          ++i;
+        } else {
+          cur().comment.push_back(c);
+        }
+        break;
+      case State::String:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '"') {
+          state = State::Normal;
+          cur().code.push_back('"');
+        }
+        break;
+      case State::Char:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          state = State::Normal;
+          cur().code.push_back('\'');
+        }
+        break;
+      case State::Raw:
+        if (c == ')' && content.compare(i, raw_delim.size(), raw_delim) == 0) {
+          i += raw_delim.size() - 1;
+          state = State::Normal;
+        }
+        break;
+    }
+  }
+  return lines;
+}
+
+// ---------------------------------------------------------------------------
+// Path scoping
+// ---------------------------------------------------------------------------
+
+std::string normalized(std::string path) {
+  std::replace(path.begin(), path.end(), '\\', '/');
+  return path;
+}
+
+bool path_contains(const std::string& path, std::string_view piece) {
+  const auto pos = path.find(piece);
+  if (pos == std::string::npos) return false;
+  // Require a component boundary on the left so "mysrc/x" != "src/x".
+  return pos == 0 || path[pos - 1] == '/';
+}
+
+struct Scope {
+  bool substrate_allowlisted;  // R1 allowlist
+  bool in_src;                 // R2 applies
+  bool timer_allowlisted;      // R2 wall-clock allowlist
+  bool in_transform_or_sim;    // R4 applies
+};
+
+Scope scope_of(const std::string& path) {
+  Scope s{};
+  s.substrate_allowlisted = path_contains(path, "util/parallel.hpp") ||
+                            path_contains(path, "util/prefix_sum.hpp");
+  s.in_src = path_contains(path, "src/");
+  s.timer_allowlisted = path_contains(path, "util/timer.hpp");
+  s.in_transform_or_sim =
+      path_contains(path, "src/transform/") || path_contains(path, "src/sim/");
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Matching helpers over the joined code text
+// ---------------------------------------------------------------------------
+
+struct CodeIndex {
+  std::string text;                     // all code lines joined with '\n'
+  std::vector<std::size_t> line_start;  // offset of each line in text
+};
+
+CodeIndex join_code(const std::vector<ScannedLine>& lines) {
+  CodeIndex idx;
+  for (const auto& line : lines) {
+    idx.line_start.push_back(idx.text.size());
+    idx.text += line.code;
+    idx.text.push_back('\n');
+  }
+  return idx;
+}
+
+int line_of(const CodeIndex& idx, std::size_t offset) {
+  const auto it = std::upper_bound(idx.line_start.begin(),
+                                   idx.line_start.end(), offset);
+  return static_cast<int>(it - idx.line_start.begin());
+}
+
+/// All whole-word identifiers declared as std::unordered_{map,set} in the
+/// file: `unordered_map<...> name` / `unordered_set<...>& name`.
+std::vector<std::string> unordered_container_names(const CodeIndex& idx) {
+  std::vector<std::string> names;
+  static const std::regex kDecl(R"(\bunordered_(?:map|set)\s*<)");
+  const std::string& t = idx.text;
+  for (auto it = std::sregex_iterator(t.begin(), t.end(), kDecl);
+       it != std::sregex_iterator(); ++it) {
+    std::size_t p = static_cast<std::size_t>(it->position()) + it->length();
+    int depth = 1;  // just consumed the '<'
+    while (p < t.size() && depth > 0) {
+      if (t[p] == '<') ++depth;
+      if (t[p] == '>') --depth;
+      ++p;
+    }
+    while (p < t.size() &&
+           (std::isspace(static_cast<unsigned char>(t[p])) || t[p] == '&' ||
+            t[p] == '*')) {
+      ++p;
+    }
+    std::string name;
+    while (p < t.size() && (std::isalnum(static_cast<unsigned char>(t[p])) ||
+                            t[p] == '_')) {
+      name.push_back(t[p]);
+      ++p;
+    }
+    if (!name.empty() && name != "const") names.push_back(name);
+  }
+  return names;
+}
+
+/// Identifiers declared with a bare float/double type (heuristic; catches
+/// the scalar accumulators an omp reduction clause would name).
+std::vector<std::string> fp_scalar_names(const CodeIndex& idx) {
+  std::vector<std::string> names;
+  static const std::regex kDecl(R"(\b(?:double|float)\s+(\w+))");
+  const std::string& t = idx.text;
+  for (auto it = std::sregex_iterator(t.begin(), t.end(), kDecl);
+       it != std::sregex_iterator(); ++it) {
+    names.push_back((*it)[1].str());
+  }
+  return names;
+}
+
+bool contains_word(const std::string& haystack, const std::string& word) {
+  std::size_t pos = 0;
+  while ((pos = haystack.find(word, pos)) != std::string::npos) {
+    const bool left_ok =
+        pos == 0 || (!std::isalnum(static_cast<unsigned char>(
+                         haystack[pos - 1])) &&
+                     haystack[pos - 1] != '_');
+    const std::size_t end = pos + word.size();
+    const bool right_ok =
+        end >= haystack.size() ||
+        (!std::isalnum(static_cast<unsigned char>(haystack[end])) &&
+         haystack[end] != '_');
+    if (left_ok && right_ok) return true;
+    ++pos;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions
+// ---------------------------------------------------------------------------
+
+struct PendingSuppression {
+  int line = 0;
+  std::string rule;
+  std::string reason;
+  bool used = false;
+  bool reported = false;  // already produced a SUP diagnostic (bad reason)
+};
+
+std::string trim(std::string s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.erase(s.begin());
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.pop_back();
+  }
+  return s;
+}
+
+}  // namespace
+
+Result lint_source(std::string path_label, std::string_view content) {
+  const std::string path = normalized(std::move(path_label));
+  const Scope scope = scope_of(path);
+  const std::vector<ScannedLine> lines = scan(content);
+  const CodeIndex idx = join_code(lines);
+
+  std::vector<Diagnostic> raw;
+  auto diag = [&](int line, const char* rule, std::string message) {
+    raw.push_back({path, line, rule, std::move(message)});
+  };
+
+  // --- Suppression directives (must start the comment) -------------------
+  std::vector<PendingSuppression> pending;
+  static const std::regex kAllow(
+      R"(^\s*graffix-lint\s*:\s*allow\(\s*(R[0-9]+)\s*\)\s*(.*)$)");
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    std::smatch m;
+    if (std::regex_search(lines[i].comment, m, kAllow)) {
+      PendingSuppression sup;
+      sup.line = static_cast<int>(i) + 1;
+      sup.rule = m[1].str();
+      sup.reason = trim(m[2].str());
+      if (sup.reason.empty()) {
+        raw.push_back({path, sup.line, "SUP",
+                       "suppression for " + sup.rule +
+                           " has no reason; write `allow(" + sup.rule +
+                           ") <why this is safe>`"});
+        sup.reported = true;
+      }
+      pending.push_back(std::move(sup));
+    }
+  }
+
+  // --- R1: raw omp pragmas outside the substrate allowlist ----------------
+  if (!scope.substrate_allowlisted) {
+    static const std::regex kOmp(R"(^[ \t]*#[ \t]*pragma[ \t]+omp\b)");
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      if (std::regex_search(lines[i].code, kOmp)) {
+        diag(static_cast<int>(i) + 1, "R1",
+             "raw `#pragma omp` outside util/parallel.hpp / "
+             "util/prefix_sum.hpp; use the effective_workers()-clamped "
+             "wrappers (parallel_for[_dynamic], parallel_for_each_dynamic, "
+             "parallel_exclusive_scan_inplace)");
+      }
+    }
+  }
+
+  // --- R2: nondeterminism sources in library code -------------------------
+  if (scope.in_src) {
+    struct Pattern {
+      const std::regex re;
+      const char* what;
+    };
+    static const Pattern kSources[] = {
+        {std::regex(R"(\b(?:rand|srand|drand48|lrand48|random)\s*\()"),
+         "C rand()-family call; use util/rng.hpp streams seeded from the "
+         "experiment seed"},
+        {std::regex(R"(\brandom_device\b)"),
+         "std::random_device is nondeterministic; derive seeds with "
+         "SplitMix64 from the experiment seed"},
+        {std::regex(R"(\bmt19937(?:_64)?\s+\w+\s*(?:;|\{\s*\}))"),
+         "unseeded std::mt19937; library randomness must come from "
+         "util/rng.hpp streams seeded from the experiment seed"},
+    };
+    const std::string& t = idx.text;
+    for (const Pattern& p : kSources) {
+      for (auto it = std::sregex_iterator(t.begin(), t.end(), p.re);
+           it != std::sregex_iterator(); ++it) {
+        diag(line_of(idx, static_cast<std::size_t>(it->position())), "R2",
+             p.what);
+      }
+    }
+    if (!scope.timer_allowlisted) {
+      static const std::regex kClock(
+          R"(\b(?:steady_clock|system_clock|high_resolution_clock)\b|\b(?:gettimeofday|clock_gettime|timespec_get)\s*\(|\btime\s*\(\s*(?:NULL|nullptr|0)?\s*\))");
+      for (auto it = std::sregex_iterator(t.begin(), t.end(), kClock);
+           it != std::sregex_iterator(); ++it) {
+        diag(line_of(idx, static_cast<std::size_t>(it->position())), "R2",
+             "wall-clock read outside util/timer.hpp; route timing through "
+             "WallTimer/ScopedAccumulator (telemetry only, never outputs)");
+      }
+    }
+    // Range-for over an unordered container: iteration order is
+    // implementation-defined, so it may never feed an output path.
+    const std::vector<std::string> unordered = unordered_container_names(idx);
+    if (!unordered.empty()) {
+      static const std::regex kFor(R"(\bfor\s*\()");
+      for (auto it = std::sregex_iterator(t.begin(), t.end(), kFor);
+           it != std::sregex_iterator(); ++it) {
+        const auto open =
+            static_cast<std::size_t>(it->position()) + it->length() - 1;
+        std::size_t p = open + 1;
+        int depth = 1;
+        std::size_t colon = std::string::npos;
+        while (p < t.size() && depth > 0) {
+          const char c = t[p];
+          if (c == '(' || c == '[' || c == '{') ++depth;
+          if (c == ')' || c == ']' || c == '}') --depth;
+          if (c == ':' && depth == 1) {
+            const bool scope_colon =
+                (p > 0 && t[p - 1] == ':') || (p + 1 < t.size() && t[p + 1] == ':');
+            if (!scope_colon && colon == std::string::npos) colon = p;
+          }
+          ++p;
+        }
+        if (colon == std::string::npos || p == 0) continue;
+        const std::string range_expr = t.substr(colon + 1, p - colon - 2);
+        for (const std::string& name : unordered) {
+          if (contains_word(range_expr, name)) {
+            diag(line_of(idx, static_cast<std::size_t>(it->position())), "R2",
+                 "range-for over std::unordered container `" + name +
+                     "`; iteration order is implementation-defined and may "
+                     "not feed any output (fix the order or certify with a "
+                     "suppression)");
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  // --- R3: floating-point omp reduction (any file) ------------------------
+  {
+    const std::vector<std::string> fp_names = fp_scalar_names(idx);
+    static const std::regex kPragma(R"(^[ \t]*#[ \t]*pragma[ \t]+omp\b)");
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      if (!std::regex_search(lines[i].code, kPragma)) continue;
+      // Join backslash-continued directive lines.
+      std::string directive = lines[i].code;
+      std::size_t j = i;
+      while (!directive.empty() && trim(directive).back() == '\\' &&
+             j + 1 < lines.size()) {
+        directive = trim(directive);
+        directive.pop_back();
+        ++j;
+        directive += " " + lines[j].code;
+      }
+      static const std::regex kReduction(R"(\breduction\s*\(([^)]*)\))");
+      std::smatch m;
+      std::string rest = directive;
+      if (std::regex_search(rest, m, kReduction)) {
+        const std::string clause = m[1].str();
+        const auto colon = clause.find(':');
+        const std::string vars =
+            colon == std::string::npos ? clause : clause.substr(colon + 1);
+        for (const std::string& name : fp_names) {
+          if (contains_word(vars, name)) {
+            diag(static_cast<int>(i) + 1, "R3",
+                 "floating-point omp reduction over `" + name +
+                     "`: FP addition is not associative, so the team order "
+                     "changes the result; reduce serially over a "
+                     "deterministic per-block array instead");
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  // --- R4: std::sort in src/transform/ and src/sim/ -----------------------
+  if (scope.in_transform_or_sim) {
+    static const std::regex kSort(R"(\bstd\s*::\s*sort\s*\()");
+    const std::string& t = idx.text;
+    for (auto it = std::sregex_iterator(t.begin(), t.end(), kSort);
+         it != std::sregex_iterator(); ++it) {
+      diag(line_of(idx, static_cast<std::size_t>(it->position())), "R4",
+           "std::sort in transform/sim code: tie order feeds the CSR "
+           "layout. Use std::stable_sort, or certify that the comparator "
+           "is a total order on element values with an allow(R4) "
+           "annotation");
+    }
+  }
+
+  // --- Apply suppressions -------------------------------------------------
+  Result result;
+  for (Diagnostic& d : raw) {
+    bool suppressed = false;
+    if (d.rule != "SUP") {
+      for (PendingSuppression& sup : pending) {
+        if (sup.rule == d.rule && !sup.reason.empty() &&
+            (sup.line == d.line || sup.line == d.line - 1)) {
+          if (!sup.used) {
+            result.suppressions.push_back({path, sup.line, sup.rule,
+                                           sup.reason});
+            sup.used = true;
+          }
+          suppressed = true;
+          break;
+        }
+      }
+    }
+    if (!suppressed) result.diagnostics.push_back(std::move(d));
+  }
+  for (const PendingSuppression& sup : pending) {
+    if (!sup.used && !sup.reported) {
+      result.diagnostics.push_back(
+          {path, sup.line, "SUP",
+           "unused suppression for " + sup.rule +
+               " (no matching diagnostic on this or the next line); delete "
+               "it"});
+    }
+  }
+  std::sort(result.diagnostics.begin(), result.diagnostics.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return result;
+}
+
+Result lint_paths(const std::vector<std::string>& paths) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  Result result;
+  auto is_source = [](const fs::path& p) {
+    const std::string ext = p.extension().string();
+    return ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc";
+  };
+  for (const std::string& root : paths) {
+    std::error_code ec;
+    if (fs::is_directory(root, ec)) {
+      for (auto it = fs::recursive_directory_iterator(root, ec);
+           it != fs::recursive_directory_iterator(); ++it) {
+        if (it->is_regular_file(ec) && is_source(it->path())) {
+          files.push_back(it->path().string());
+        }
+      }
+    } else if (fs::is_regular_file(root, ec)) {
+      files.push_back(root);
+    } else {
+      result.diagnostics.push_back(
+          {root, 0, "SUP", "path does not exist or is not readable"});
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  for (const std::string& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      result.diagnostics.push_back({file, 0, "SUP", "failed to read file"});
+      continue;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string content = buffer.str();
+    Result one = lint_source(file, content);
+    result.diagnostics.insert(result.diagnostics.end(),
+                              one.diagnostics.begin(), one.diagnostics.end());
+    result.suppressions.insert(result.suppressions.end(),
+                               one.suppressions.begin(),
+                               one.suppressions.end());
+  }
+  return result;
+}
+
+std::string format_report(const Result& result) {
+  std::ostringstream out;
+  out << "graffix-lint report\n";
+  out << "diagnostics: " << result.diagnostics.size() << "\n";
+  for (const Diagnostic& d : result.diagnostics) {
+    out << d.file << ":" << d.line << ": [" << d.rule << "] " << d.message
+        << "\n";
+  }
+  out << "\nsuppression budget: " << result.suppressions.size()
+      << " used\n";
+  for (const char* rule : {"R1", "R2", "R3", "R4"}) {
+    std::size_t count = 0;
+    for (const SuppressionUse& s : result.suppressions) {
+      if (s.rule == rule) ++count;
+    }
+    out << "  " << rule << ": " << count << "\n";
+    for (const SuppressionUse& s : result.suppressions) {
+      if (s.rule == rule) {
+        out << "    " << s.file << ":" << s.line << " -- " << s.reason << "\n";
+      }
+    }
+  }
+  return out.str();
+}
+
+}  // namespace graffix::lint

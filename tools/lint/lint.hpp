@@ -1,0 +1,77 @@
+// graffix-lint — the repo's determinism-policy analyzer.
+//
+// A lightweight (token/line-level, no libclang) static-analysis pass that
+// machine-checks the DESIGN.md §7 parallelism & determinism policy over
+// src/, bench/, and tools/. The checked rules (see DESIGN.md §8 for the
+// authoritative table and suppression etiquette):
+//
+//   R1  No raw `#pragma omp` outside the substrate allowlist
+//       (util/parallel.hpp, util/prefix_sum.hpp). All teams must go
+//       through the effective_workers()-clamped wrappers.
+//   R2  No nondeterminism sources in library code (src/): rand()-family
+//       calls, std::random_device, unseeded std::mt19937, wall-clock
+//       reads outside util/timer.hpp, and range-for over
+//       std::unordered_{map,set} (iteration order is
+//       implementation-defined, so it may never feed an output).
+//   R3  No floating-point `omp reduction` (any file, including the
+//       substrate): FP addition is not associative, so a team-order
+//       reduction over float/double is nondeterministic. Totals that
+//       feed outputs must use the deterministic ordered helpers.
+//   R4  `std::sort` in src/transform/ and src/sim/ must be certified:
+//       tie order feeds the CSR layout, so every comparator must be a
+//       total order on element values (or the call migrated to
+//       std::stable_sort). Certification is an explicit allow(R4)
+//       annotation stating why the comparator is total.
+//
+// Suppressions: `// graffix-lint: allow(R1) <reason>` on the flagged
+// line or the line directly above it. A missing reason and an unused
+// suppression are themselves diagnostics (rule SUP), so annotations
+// cannot rot silently. Every used suppression is counted into a per-rule
+// budget report.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace graffix::lint {
+
+struct Diagnostic {
+  std::string file;
+  int line = 0;
+  std::string rule;     // "R1".."R4", or "SUP" for suppression misuse
+  std::string message;
+};
+
+/// One used (i.e. diagnostic-matching) inline suppression.
+struct SuppressionUse {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string reason;
+};
+
+struct Result {
+  std::vector<Diagnostic> diagnostics;   // sorted by (file, line, rule)
+  std::vector<SuppressionUse> suppressions;
+
+  [[nodiscard]] bool clean() const { return diagnostics.empty(); }
+};
+
+/// Lints one translation unit. `path_label` determines rule scoping
+/// (allowlists, src/-only rules) and is echoed into diagnostics; it can
+/// be a real path or a fixture label like "src/transform/foo.cpp".
+[[nodiscard]] Result lint_source(std::string path_label,
+                                 std::string_view content);
+
+/// Lints every .hpp/.cpp/.h/.cc file under the given files/directories
+/// (recursively; paths are sorted so output order is deterministic).
+/// Unreadable paths produce a SUP diagnostic rather than being skipped
+/// silently.
+[[nodiscard]] Result lint_paths(const std::vector<std::string>& paths);
+
+/// Human-readable report: diagnostics, then the suppression budget
+/// (per-rule counts with file:line and reasons).
+[[nodiscard]] std::string format_report(const Result& result);
+
+}  // namespace graffix::lint
