@@ -13,7 +13,9 @@ namespace graffix::bench {
 
 namespace {
 
-std::string g_json_path;
+std::string g_json_path;  // final path given by --json
+std::string g_json_tmp;   // staging file the run actually writes
+bool g_json_finalize_registered = false;
 
 std::string json_escape(const std::string& s) {
   std::string out;
@@ -25,11 +27,15 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
-/// Appends one `{"table": <title>, "kind": <kind>, <body>}` line.
+/// Appends one `{"table": <title>, "kind": <kind>, <body>}` line to the
+/// staging file. The final path is only ever touched by the atomic
+/// rename in finalize_json_output(), so a rerun into the same path
+/// replaces the previous document instead of accumulating stale rows,
+/// and a crashed run leaves the previous document intact.
 template <typename Body>
 void json_table(const std::string& title, const char* kind, Body&& body) {
-  if (g_json_path.empty()) return;
-  FILE* f = std::fopen(g_json_path.c_str(), "a");
+  if (g_json_tmp.empty()) return;
+  FILE* f = std::fopen(g_json_tmp.c_str(), "a");
   if (f == nullptr) return;
   std::fprintf(f, "{\"table\":\"%s\",\"kind\":\"%s\",",
                json_escape(title).c_str(), kind);
@@ -41,6 +47,32 @@ void json_table(const std::string& title, const char* kind, Body&& body) {
 }  // namespace
 
 const std::string& json_output_path() { return g_json_path; }
+
+void set_json_output(const std::string& path) {
+  // Finish any document in flight before redirecting (a test driving
+  // two simulated runs in one process relies on this).
+  finalize_json_output();
+  g_json_path = path;
+  g_json_tmp.clear();
+  if (path.empty()) return;
+  g_json_tmp = path + ".tmp";
+  // Truncate the staging file up front: this run's tables start from an
+  // empty document no matter what a previous (possibly crashed) run
+  // left behind.
+  if (FILE* f = std::fopen(g_json_tmp.c_str(), "w")) std::fclose(f);
+  if (!g_json_finalize_registered) {
+    g_json_finalize_registered = true;
+    std::atexit([] { finalize_json_output(); });
+  }
+}
+
+void finalize_json_output() {
+  if (g_json_tmp.empty()) return;
+  // rename(2) within one directory is atomic: readers (and CI artifact
+  // uploads) see either the old complete document or the new one.
+  std::rename(g_json_tmp.c_str(), g_json_path.c_str());
+  g_json_tmp.clear();
+}
 
 BenchOptions parse_args(int argc, char** argv) {
   BenchOptions options;
@@ -84,7 +116,7 @@ BenchOptions parse_args(int argc, char** argv) {
   if (options.threads > 0) {
     set_num_threads(static_cast<int>(options.threads));
   }
-  g_json_path = options.json_path;
+  set_json_output(options.json_path);
   return options;
 }
 

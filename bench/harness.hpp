@@ -34,9 +34,22 @@ struct BenchOptions {
 [[nodiscard]] BenchOptions parse_args(int argc, char** argv);
 
 /// Path given by --json (empty when disabled). While set, every print_*
-/// table call also appends one JSON object line to this file, so the
-/// perf trajectory can be tracked by tooling across runs.
+/// table call also appends one JSON object line to the run's document,
+/// so the perf trajectory can be tracked by tooling across runs.
 [[nodiscard]] const std::string& json_output_path();
+
+/// Starts a JSON document for this run (normally called by parse_args).
+/// Tables are staged in `path + ".tmp"` and only moved onto `path` by
+/// finalize_json_output() — registered atexit — so rerunning a bench
+/// into the same file atomically REPLACES the previous document rather
+/// than appending stale rows to it. Empty path disables JSON output.
+void set_json_output(const std::string& path);
+
+/// Atomically publishes the staged document to the --json path
+/// (rename(2)); idempotent, and a no-op when JSON output is disabled.
+/// Runs automatically at process exit; tests simulating multiple runs
+/// in one process call it directly.
+void finalize_json_output();
 
 /// Applies the common options onto an experiment config.
 [[nodiscard]] core::ExperimentConfig make_config(const BenchOptions& options,

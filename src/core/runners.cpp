@@ -114,17 +114,22 @@ class Driver {
   }
 
   /// Global sweep over `active` slots (reordered into warp order here).
+  /// `traits` certifies the functor for the engine's grouped parallel
+  /// replay (see sim::FunctorTraits); the default is uncertified, which
+  /// replays serially and is always safe.
   template <typename Fn>
-  void sweep(std::vector<NodeId>& active, Fn&& fn) {
+  void sweep(std::vector<NodeId>& active, Fn&& fn,
+             sim::FunctorTraits traits = {}) {
     order_active(active);
-    sweep_impl(active, [](NodeId) { return true; }, std::forward<Fn>(fn));
+    sweep_impl(active, [](NodeId) { return true; }, std::forward<Fn>(fn),
+               traits);
   }
 
   /// Global sweep over every slot in warp order.
   template <typename Fn>
-  void sweep_all(Fn&& fn) {
+  void sweep_all(Fn&& fn, sim::FunctorTraits traits = {}) {
     sweep_impl(layout_->order, [](NodeId) { return true; },
-               std::forward<Fn>(fn));
+               std::forward<Fn>(fn), traits);
   }
 
   /// Topology-driven sweep with a per-vertex gate: every slot is assigned
@@ -133,8 +138,9 @@ class Driver {
   /// is what keeps topology-driven baselines from paying full gather
   /// traffic for untouched vertices while still paying divergence.
   template <typename Gate, typename Fn>
-  void sweep_all_gated(Gate&& gate, Fn&& fn) {
-    sweep_impl(layout_->order, std::forward<Gate>(gate), std::forward<Fn>(fn));
+  void sweep_all_gated(Gate&& gate, Fn&& fn, sim::FunctorTraits traits = {}) {
+    sweep_impl(layout_->order, std::forward<Gate>(gate), std::forward<Fn>(fn),
+               traits);
   }
 
   /// One round of shared-memory inner iterations: every cluster selected
@@ -189,13 +195,15 @@ class Driver {
   /// the staged subgraph itself — resident in shared memory.
   template <typename Gate, typename Fn>
   void sweep_impl(std::span<const NodeId> slots_in_order, Gate&& gate,
-                  Fn&& fn) {
+                  Fn&& fn, sim::FunctorTraits traits = {}) {
     const std::span<const WorkItem> work = work_for(slots_in_order);
     track_primary(work.size());
     // Each lane's gate check is one coalesced state load.
     engine_->charge_uniform_kernel(work.size(), 1.0, stats_);
     stats_.sweeps -= 1;  // the gate load is part of this launch
-    engine_->sweep_gated(work, opts_, gate, fn, stats_);
+    SweepOptions opts = opts_;
+    opts.functor = traits;
+    engine_->sweep_gated(work, opts, gate, fn, stats_);
     if (has_clusters()) {
       const std::span<const WorkItem> cwork = cluster_work_for(slots_in_order);
       if (!cwork.empty()) {
@@ -203,10 +211,12 @@ class Driver {
         // re-streams the cluster edges from global memory (that IS the
         // staging load); only inner rounds within one launch (see
         // cluster_phase_round) get resident edges. Not its own launch:
-        // it is part of the boundary sweep's.
+        // it is part of the boundary sweep's. The functor is the same
+        // one, so the certification carries over.
         primary_items_ += cwork.size();
-        cluster_engine_->sweep_gated(cwork, cluster_opts(false), gate, fn,
-                                     stats_);
+        SweepOptions copts = cluster_opts(false);
+        copts.functor = traits;
+        cluster_engine_->sweep_gated(cwork, copts, gate, fn, stats_);
       }
       charge_staging(slots_in_order.size());
     }
@@ -617,6 +627,11 @@ RunOutput run_sssp(const Csr& graph, const RunConfig& config) {
   double improvement_base = 0.0;
   bool discovered = false;
 
+  // Deliberately NOT certified for grouped replay: the functor sums
+  // `improvement`/`improvement_base` across all targets (a shared FP
+  // accumulator whose order the grouped replay would reassociate) and
+  // appends to the shared `changed` list. The min-plus core would
+  // qualify; the stall-detection side channel is what keeps it serial.
   auto relax = [&](NodeId u, NodeId v, Weight w) {
     const double nd = dist[u] + static_cast<double>(w);
     if (nd < next[v] - eps * (1.0 + std::abs(nd))) {
@@ -758,18 +773,29 @@ RunOutput run_pagerank(const Csr& graph, const RunConfig& config) {
     // engine serves intra-cluster gathers from shared memory. Inner
     // refinement rounds are reserved for monotone relaxations (SSSP) —
     // for PR they would fight the global power iteration's convergence.
+    // Both functors are certified plus-monoid merges (grouped parallel
+    // replay, DESIGN.md §7): they read only sweep-stable state (rank and
+    // degree are not written during the sweep) plus the accumulator slot
+    // of their merge target, write only that slot, and have no other
+    // side effects. Per-target absorption order equals the serial replay
+    // order, so the rounded double sums are bit-identical to the serial
+    // engine.
     if (config.pr_pull) {
       // Transpose sweep: u is the gathering vertex, v its in-neighbor.
       // No atomic commit — each lane owns next[u].
-      driver.sweep_all([&](NodeId u, NodeId v, Weight) {
-        next[u] += rank[v] / degree[v];
-        return false;
-      });
+      driver.sweep_all(
+          [&](NodeId u, NodeId v, Weight) {
+            next[u] += rank[v] / degree[v];
+            return false;
+          },
+          {sim::MergeKind::Sum, sim::MergeTarget::Src});
     } else {
-      driver.sweep_all([&](NodeId u, NodeId v, Weight) {
-        next[v] += rank[u] / degree[u];
-        return true;
-      });
+      driver.sweep_all(
+          [&](NodeId u, NodeId v, Weight) {
+            next[v] += rank[u] / degree[u];
+            return true;
+          },
+          {sim::MergeKind::Sum, sim::MergeTarget::Dst});
     }
 
     double dangling = 0.0;
@@ -886,6 +912,11 @@ RunOutput run_bc(const Csr& graph, const RunConfig& config) {
     while (true) {
       sync_replicas_forward(depth, &by_level[depth]);
       std::vector<NodeId> next_frontier;
+      // Not certified for grouped replay: the functor appends newly
+      // discovered vertices to the shared next_frontier list, a side
+      // effect outside any merge target's state (and a data race under
+      // concurrent absorption). The sigma accumulation alone would be a
+      // clean plus-merge; the frontier discovery is what pins it serial.
       auto forward = [&](NodeId u, NodeId v, Weight) {
         if (level[u] != depth) return false;
         if (level[v] == kInvalidNode) {
@@ -912,6 +943,15 @@ RunOutput run_bc(const Csr& graph, const RunConfig& config) {
 
     // Backward pass: dependency accumulation level by level (Eq. 1).
     for (NodeId d = depth + 1; d-- > 0;) {
+      // Certified plus-merge into the SOURCE side (grouped parallel
+      // replay, DESIGN.md §7): within one depth-d sweep the functor
+      // writes only delta[u] (u at level d) and reads delta[v]/sigma[v]
+      // for v at level d+1 — state no call of this sweep writes — plus
+      // level/sigma, which are frozen after the forward pass. Per-u
+      // absorption order equals the serial replay order, so the rounded
+      // double accumulation is bit-identical to the serial engine.
+      const sim::FunctorTraits backward_traits{sim::MergeKind::Sum,
+                                               sim::MergeTarget::Src};
       auto backward = [&](NodeId u, NodeId v, Weight) {
         if (level[u] != d) return false;
         if (level[v] == d + 1 && sigma[v] > 0.0 && sigma[u] > 0.0) {
@@ -922,10 +962,10 @@ RunOutput run_bc(const Csr& graph, const RunConfig& config) {
       };
       if (drv.data_driven()) {
         std::vector<NodeId> frontier = by_level[d];
-        drv.sweep(frontier, backward);
+        drv.sweep(frontier, backward, backward_traits);
       } else {
         drv.sweep_all_gated([&](NodeId u) { return level[u] == d; },
-                            backward);
+                            backward, backward_traits);
       }
     }
     // Copies of a node accumulate dependency through disjoint out-edge

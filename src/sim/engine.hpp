@@ -21,14 +21,18 @@
 //   block's metadata (gate bitmask, lane count, longest gated-in item)
 //   and a compacted per-chunk list of live block ids.
 //
-//   Phase B (functional) — replays warps serially in warp/lane order and
-//   invokes the caller's functor. Functors may read state written by
-//   earlier commits of the same sweep (Bellman-Ford-style propagation),
-//   so this phase never runs in parallel: atomic_commits/atomic_conflicts
-//   and all functional state match the fully serial engine exactly.
-//   Phase B walks only the live blocks Phase A compacted and reuses the
-//   recorded metadata, so gated-out regions and gate/metadata recompute
-//   cost nothing here.
+//   Phase B (functional) — replays live blocks and invokes the caller's
+//   functor. For an *uncertified* functor (SweepOptions::functor.merge ==
+//   MergeKind::None, the default) the replay is serial in warp/lane
+//   order: functors may read state written by earlier commits of the
+//   same sweep (Bellman-Ford-style propagation), so
+//   atomic_commits/atomic_conflicts and all functional state match the
+//   fully serial engine exactly. For a functor *certified* as a
+//   commutative-monoid merge (see FunctorTraits) the replay runs
+//   block-parallel: candidate updates are grouped by merge target and
+//   each target's candidates are absorbed in serial warp/lane order, so
+//   functional state AND stats stay byte-identical to the serial oracle
+//   — see "Commutative replay contract" in DESIGN.md §7.
 //
 // When the chunking policy yields a single chunk (small sweeps, nested
 // parallelism, a one-worker machine), the sweep takes a *fused* path
@@ -51,7 +55,10 @@
 //
 // Identical inputs give identical stats and results at every thread
 // count, including 1. A single Engine instance is not thread-safe; use
-// one engine per thread of control (forked drivers each own one).
+// one engine per thread of control (forked drivers each own one). A
+// sweep that re-enters the same engine (e.g. a functor driving another
+// sweep) dies loudly on the in-sweep guard instead of silently
+// corrupting the shared per-sweep scratch.
 //
 // This is the substitution substrate for the paper's K40c — see DESIGN.md.
 #pragma once
@@ -70,6 +77,57 @@
 
 namespace graffix::sim {
 
+/// How a functor folds one candidate edge update into its target's state.
+enum class MergeKind : std::uint8_t {
+  /// Order-sensitive (Gauss-Seidel chains, shared side effects, or
+  /// simply unaudited): Phase B replays serially. The safe default.
+  None,
+  /// Tropical min-plus absorb: state' = min(state, candidate). SSSP
+  /// relaxations and BFS level claims.
+  Min,
+  /// Plus-monoid accumulation: state' = state + candidate. PageRank rank
+  /// scatter/gather, BC sigma propagation.
+  Sum,
+  /// Any other per-target fold absorbed in warp/lane order (BC
+  /// dependency accumulation). The engine never interprets the merge —
+  /// the kind only documents the algebra being attested.
+  Absorb,
+};
+
+/// Which endpoint's state the functor merges into.
+enum class MergeTarget : std::uint8_t {
+  Dst,  ///< push functors: fn(u, v, w) writes state indexed by v
+  Src,  ///< pull functors (transpose sweeps): fn writes state indexed by u
+};
+
+/// Caller's certification that an edge functor is a commutative-monoid
+/// merge, which lets Phase B replay warp blocks in parallel.
+///
+/// Setting merge != None attests, for every fn(u, v, w) call of the
+/// sweep, with t = (target == Dst ? v : u):
+///
+///   1. fn reads only sweep-stable state (not written by any functor
+///      call of this sweep) plus state indexed by t;
+///   2. fn writes only state indexed by t, and has no other side
+///      effects — no shared accumulators, no appends to shared lists;
+///   3. distinct targets' updates commute (they touch disjoint state),
+///      so only the relative order of same-target calls can matter.
+///
+/// Under that contract the engine guarantees same-target calls are
+/// absorbed in exactly the serial warp/lane replay order. Integer and
+/// exact merges (Min/Max selection) are trivially order-safe; rounded FP
+/// accumulation (Sum of floats) is ALSO bit-identical to the serial
+/// engine because each target's additions happen in the serial order —
+/// no FP reassociation can leak in. The engine cannot check any of
+/// this; the replay-equivalence differential tests pin the in-repo
+/// certified functors against the serial oracle instead.
+struct FunctorTraits {
+  MergeKind merge = MergeKind::None;
+  MergeTarget target = MergeTarget::Dst;
+
+  [[nodiscard]] bool certified() const { return merge != MergeKind::None; }
+};
+
 /// Per-sweep options.
 struct SweepOptions {
   EdgeLoadMode edge_mode = EdgeLoadMode::Csr;
@@ -86,6 +144,9 @@ struct SweepOptions {
   /// Whether this sweep is its own kernel launch. Cluster inner
   /// iterations run inside one launch and set this to false.
   bool charge_launch = true;
+  /// Commutativity certification for this sweep's functor; defaults to
+  /// uncertified (serial replay).
+  FunctorTraits functor = {};
 };
 
 /// Per-chunk accounting scratch. Bank words and the distinct-segment set
@@ -94,9 +155,15 @@ struct SweepOptions {
 /// set is a small open-addressed hash table (capacity >= 4*warp_size, a
 /// power of two, so it can never fill from <= warp_size inserts per
 /// step), replacing the previous O(warp_size) linear scan per insert.
+/// The replay lane tables (lane_dst/lane_active) live here too — they
+/// are written during Phase B and the atomic-accounting replay, so they
+/// must be per-worker, never engine members (two blocks replaying
+/// concurrently would otherwise corrupt each other's conflict scans).
 struct SweepScratch {
   std::vector<std::uint64_t> lane_edge_seg;
   std::vector<NodeId> lane_res;  // per-lane source residency cluster
+  std::vector<NodeId> lane_dst;  // per-lane destination this warp step
+  std::vector<std::uint8_t> lane_active;
   std::vector<NodeId> bank_word;
   std::vector<std::uint64_t> bank_epoch;
   std::vector<std::uint64_t> seg_key;
@@ -108,6 +175,8 @@ struct SweepScratch {
     if (lane_edge_seg.size() != warp_size) {
       lane_edge_seg.assign(warp_size, ~std::uint64_t{0});
       lane_res.assign(warp_size, kInvalidNode);
+      lane_dst.assign(warp_size, kInvalidNode);
+      lane_active.assign(warp_size, 0);
     }
     bool rewound = false;
     if (bank_word.size() != banks) {
@@ -190,16 +259,28 @@ class Engine {
                    Gate&& gate, EdgeFn&& fn, KernelStats& stats) {
     if (opts.charge_launch) stats.sweeps += 1;
     if (items.empty()) return;
+    // The engine's per-sweep scratch (block_meta_, chunk lists, replay
+    // buffers) is shared mutable state: a nested sweep on the same
+    // engine — a functor or gate driving another sweep, or two drivers
+    // sharing one engine across threads — would corrupt it silently.
+    // Die loudly instead (GRAFFIX_CHECK is always on; the flag costs
+    // one byte and two writes per sweep).
+    GRAFFIX_CHECK(!in_sweep_,
+                  "Engine::sweep_gated re-entered mid-sweep: an Engine is "
+                  "not reentrant — use one engine per thread of control");
+    in_sweep_ = true;
+    struct SweepGuard {
+      bool* flag;
+      ~SweepGuard() { *flag = false; }
+    } sweep_guard{&in_sweep_};
     const std::uint32_t ws = config_.warp_size;
     const std::size_t n_blocks = (items.size() + ws - 1) / ws;
     const std::size_t n_chunks = sweep_chunk_count(n_blocks);
     block_meta_.resize(n_blocks);
-    lane_dst_.resize(ws);
-    lane_active_.resize(ws);
 
     // Evaluates the gate for every lane of block b, records {bits,
-    // lanes, max_len}, and reports whether the block has any work. The
-    // warp runs until its longest gated-in item is exhausted (thread
+    // lanes, max_len, recs}, and reports whether the block has any work.
+    // The warp runs until its longest gated-in item is exhausted (thread
     // divergence: shorter and gated-out lanes idle).
     auto eval_gate = [&](std::size_t b) {
       const std::size_t base = b * ws;
@@ -207,13 +288,15 @@ class Engine {
           std::min<std::size_t>(ws, items.size() - base));
       std::uint64_t bits = 0;
       NodeId max_len = 0;
+      std::uint64_t recs = 0;
       for (std::uint32_t l = 0; l < lanes; ++l) {
         const WorkItem& item = items[base + l];
         if (!gate(item.src)) continue;
         bits |= std::uint64_t{1} << l;
         max_len = std::max(max_len, item.edge_count);
+        recs += item.edge_count;
       }
-      block_meta_[b] = {bits, max_len, lanes};
+      block_meta_[b] = {bits, recs, max_len, lanes};
       return max_len > 0;
     };
 
@@ -237,7 +320,7 @@ class Engine {
       sc.ensure(ws, config_.shared_banks);
       for (const std::size_t b : live) {
         account_block(items, opts, b, block_meta_[b], sc, stats);
-        functional_block(items, b, block_meta_[b], fn, stats);
+        functional_block(items, b, block_meta_[b], sc, fn, stats);
       }
       return;
     }
@@ -267,8 +350,8 @@ class Engine {
       account(0);
     } else {
       // Chunks are already coarse (>= kMinBlocksPerChunk blocks each),
-      // so grain 1 just load-balances them across the team.
-      parallel_for_dynamic(std::size_t{0}, n_chunks, account, /*grain=*/1);
+      // so one pool task per chunk just load-balances them.
+      parallel_tasks(n_chunks, account);
     }
     // Chunks cover ascending block ranges; reducing in chunk order keeps
     // the accumulation order identical to the serial engine (the counters
@@ -276,13 +359,20 @@ class Engine {
     for (std::size_t c = 0; c < n_chunks; ++c) stats += chunk_stats_[c];
 
     // ---- Phase B: functional phase + atomic accounting ------------------
-    // Always serial, in warp/lane order. Only the live blocks Phase A
-    // compacted are visited (per-chunk lists concatenate to ascending
-    // block order), and the recorded metadata means nothing is
-    // re-derived — the replay cost is proportional to active work.
-    for (std::size_t c = 0; c < n_chunks; ++c) {
-      for (const std::size_t b : chunk_live_[c]) {
-        functional_block(items, b, block_meta_[b], fn, stats);
+    // Certified commutative-monoid functors replay block-parallel via
+    // per-target grouping; everything else replays serially in warp/lane
+    // order. Either way, only the live blocks Phase A compacted are
+    // visited (per-chunk lists concatenate to ascending block order) and
+    // the recorded metadata means nothing is re-derived — the replay
+    // cost is proportional to active work.
+    if (opts.functor.certified()) {
+      replay_grouped(items, opts, n_chunks, fn, stats);
+    } else {
+      SweepScratch& sc = scratch_[0];  // ensured by Phase A chunk 0
+      for (std::size_t c = 0; c < n_chunks; ++c) {
+        for (const std::size_t b : chunk_live_[c]) {
+          functional_block(items, b, block_meta_[b], sc, fn, stats);
+        }
       }
     }
   }
@@ -295,16 +385,35 @@ class Engine {
   /// Testing only: forces the two-phase path with min(n, blocks) chunks
   /// regardless of thread count or machine shape, so fused-vs-sharded
   /// equivalence can be pinned on any box. 0 restores the automatic
-  /// policy (shard by actual hardware concurrency).
+  /// policy (shard by actual hardware concurrency). Prefer the
+  /// ScopedSweepChunks RAII guard below — a raw set leaks the override
+  /// when an ASSERT fails before the restore line.
   void set_sweep_chunks_for_test(std::size_t n) { chunks_override_ = n; }
+
+  /// Testing only: how many sweeps took the grouped (parallel-capable)
+  /// replay path since construction. Lets tests assert that a certified
+  /// functor actually exercised the grouped replay and that an
+  /// order-sensitive one fell back to serial.
+  [[nodiscard]] std::uint64_t grouped_replays_for_test() const {
+    return grouped_replays_;
+  }
 
  private:
   /// Per-block metadata recorded during gate evaluation and reused by
-  /// both accounting and the functional replay.
+  /// accounting, the functional replay, and the grouped-replay record
+  /// layout.
   struct BlockMeta {
     std::uint64_t bits;  // gate bitmask: lane l is gated-in iff bit l
+    std::uint64_t recs;  // gated-in lane-steps = replay records emitted
     NodeId max_len;      // longest gated-in item (warp step count)
     std::uint32_t lanes; // items in this block (partial tail warp < ws)
+  };
+
+  /// One candidate edge update captured for the grouped replay.
+  struct ReplayRec {
+    NodeId u;
+    NodeId v;
+    Weight w;
   };
 
   /// Below this many warp blocks the fork/join cost outweighs the
@@ -316,7 +425,10 @@ class Engine {
   static constexpr std::size_t kMinBlocksPerChunk = 16;
   /// Chunks per worker when blocks allow it — enough slack for dynamic
   /// load balancing over skewed degree distributions without shredding
-  /// the iteration space.
+  /// the iteration space. The grouped replay re-coarsens to one replay
+  /// chunk per kChunksPerWorker accounting chunks (~= one per worker):
+  /// its per-chunk histograms cost O(chunks * slots) memory, so slack
+  /// that helps Phase A would hurt here.
   static constexpr std::size_t kChunksPerWorker = 4;
 
   /// Chunking policy for one sweep: sized by the actual block count and
@@ -332,10 +444,12 @@ class Engine {
 
   /// Functional replay of one warp block in lane order: invokes fn and
   /// charges atomic commits/conflicts. Lanes of the same step committing
-  /// to the same destination serialize.
+  /// to the same destination serialize. The lane tables live in the
+  /// caller-provided scratch so concurrent replays of distinct blocks
+  /// (and nested engines) cannot alias.
   template <typename EdgeFn>
   void functional_block(std::span<const WorkItem> items, std::size_t b,
-                        const BlockMeta& meta, EdgeFn&& fn,
+                        const BlockMeta& meta, SweepScratch& sc, EdgeFn&& fn,
                         KernelStats& stats) {
     const std::uint32_t ws = config_.warp_size;
     const auto targets = graph_->targets();
@@ -349,18 +463,18 @@ class Engine {
       for (std::uint32_t l = 0; l < lanes; ++l) {
         const WorkItem& item = items[base + l];
         if (!((bits >> l) & 1) || j >= item.edge_count) {
-          lane_active_[l] = 0;
+          sc.lane_active[l] = 0;
           continue;
         }
-        lane_active_[l] = 1;
+        sc.lane_active[l] = 1;
         const EdgeId e = item.edge_begin + j;
         const NodeId v = targets[e];
-        lane_dst_[l] = v;
+        sc.lane_dst[l] = v;
         const Weight w = has_weights ? weights[e] : Weight{1};
         if (fn(item.src, v, w)) {
           ++commits;
           for (std::uint32_t p = 0; p < l; ++p) {
-            if (lane_active_[p] && lane_dst_[p] == v) {
+            if (sc.lane_active[p] && sc.lane_dst[p] == v) {
               stats.atomic_conflicts += 1;
               break;
             }
@@ -371,15 +485,256 @@ class Engine {
     }
   }
 
+  /// Grouped (parallel-capable) replay for certified functors.
+  ///
+  /// Serial replay visits candidate updates in lex order (block b, step
+  /// j, lane l). Under the FunctorTraits contract only the relative
+  /// order of *same-target* calls is observable, so the replay:
+  ///
+  ///   1. emits every candidate record block-major (= lex order) and
+  ///      histograms records per merge target, per replay chunk;
+  ///   2. turns the histograms into per-(chunk, target) write cursors
+  ///      with a count–scan–scatter (the graph/rebuild idiom), giving
+  ///      each target a contiguous index list whose order is exactly
+  ///      the serial lex order — for ANY chunking, because chunks cover
+  ///      ascending block ranges and the scatter walks each chunk's
+  ///      records in lex order;
+  ///   3. absorbs each target's candidates in that order, in parallel
+  ///      across targets, recording each call's commit flag. Per-target
+  ///      FP accumulation order equals the serial engine's, so even
+  ///      rounded float sums are bit-identical;
+  ///   4. re-walks the blocks (parallel over replay chunks, per-worker
+  ///      lane tables) replaying the stored commit flags through the
+  ///      exact serial commit/conflict accounting, and reduces the
+  ///      per-chunk stats in ascending block order.
+  ///
+  /// Every pass writes disjoint slots at positions fixed by the record
+  /// layout alone, so stats and functional state are byte-identical to
+  /// the serial oracle at ANY thread count or chunking. Tasks run on
+  /// the persistent pool; on a one-worker machine they execute inline
+  /// on the caller, in ascending order.
+  template <typename EdgeFn>
+  void replay_grouped(std::span<const WorkItem> items, const SweepOptions& opts,
+                      std::size_t n_chunks, EdgeFn&& fn, KernelStats& stats) {
+    grouped_replays_ += 1;
+    const std::uint32_t ws = config_.warp_size;
+    const auto targets = graph_->targets();
+    const auto weights = graph_->weights();
+    const bool has_weights = !weights.empty();
+    const bool by_dst = opts.functor.target == MergeTarget::Dst;
+    const std::size_t n_slots = graph_->num_slots();
+    // Replay chunks: groups of kChunksPerWorker accounting chunks, so
+    // the histogram footprint tracks workers, not Phase A's 4x slack.
+    const std::size_t n_replay =
+        (n_chunks + kChunksPerWorker - 1) / kChunksPerWorker;
+    auto phase_hi = [&](std::size_t rc) {
+      return std::min((rc + 1) * kChunksPerWorker, n_chunks);
+    };
+
+    // Pass 1 (serial, tiny): record bases. Blocks are laid out in lex
+    // order: per-chunk live lists concatenate ascending.
+    chunk_rec_begin_.assign(n_chunks + 1, 0);
+    if (blk_rec_base_.size() < block_meta_.size()) {
+      blk_rec_base_.resize(block_meta_.size());
+    }
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < n_chunks; ++c) {
+      chunk_rec_begin_[c] = total;
+      for (const std::size_t b : chunk_live_[c]) {
+        blk_rec_base_[b] = total;
+        total += static_cast<std::size_t>(block_meta_[b].recs);
+      }
+    }
+    chunk_rec_begin_[n_chunks] = total;
+    if (total == 0) return;
+    GRAFFIX_CHECK(total <= 0xffffffffull,
+                  "grouped replay: %zu records overflow the u32 order index",
+                  total);
+    rec_.resize(total);
+    rec_commit_.resize(total);
+    rec_order_.resize(total);
+    cnt_.resize(n_replay * n_slots);
+    if (tgt_off_.size() < n_slots + 1) tgt_off_.resize(n_slots + 1);
+
+    // Pass 2: emit records block-major and histogram per (chunk, target).
+    parallel_tasks(n_replay, [&](std::size_t rc) {
+      std::uint64_t* cnt = cnt_.data() + rc * n_slots;
+      std::fill_n(cnt, n_slots, std::uint64_t{0});
+      const std::size_t p_hi = phase_hi(rc);
+      for (std::size_t pc = rc * kChunksPerWorker; pc < p_hi; ++pc) {
+        for (const std::size_t b : chunk_live_[pc]) {
+          const BlockMeta& meta = block_meta_[b];
+          const std::size_t base = b * ws;
+          std::size_t r = blk_rec_base_[b];
+          for (NodeId j = 0; j < meta.max_len; ++j) {
+            for (std::uint32_t l = 0; l < meta.lanes; ++l) {
+              const WorkItem& item = items[base + l];
+              if (!((meta.bits >> l) & 1) || j >= item.edge_count) continue;
+              const EdgeId e = item.edge_begin + j;
+              const NodeId v = targets[e];
+              rec_[r] = {item.src, v, has_weights ? weights[e] : Weight{1}};
+              cnt[by_dst ? v : item.src] += 1;
+              ++r;
+            }
+          }
+        }
+      }
+    });
+
+    // Pass 3: per-target offsets + per-(chunk, target) write cursors.
+    // Two sweeps over even slot ranges with a tiny serial scan between
+    // them; every cursor ends up absolute, ordered (ascending chunk,
+    // within-chunk lex) = global lex order per target.
+    range_total_.assign(n_replay + 1, 0);
+    const std::size_t slots_per = n_slots / n_replay;
+    const std::size_t slots_rem = n_slots % n_replay;
+    auto slot_begin = [&](std::size_t t) {
+      return t * slots_per + std::min(t, slots_rem);
+    };
+    parallel_tasks(n_replay, [&](std::size_t t) {
+      std::uint64_t sum = 0;
+      const std::size_t s_hi = slot_begin(t + 1);
+      for (std::size_t s = slot_begin(t); s < s_hi; ++s) {
+        for (std::size_t rc = 0; rc < n_replay; ++rc) {
+          sum += cnt_[rc * n_slots + s];
+        }
+      }
+      range_total_[t] = sum;
+    });
+    std::uint64_t running = 0;
+    for (std::size_t t = 0; t < n_replay; ++t) {
+      const std::uint64_t tmp = range_total_[t];
+      range_total_[t] = running;
+      running += tmp;
+    }
+    parallel_tasks(n_replay, [&](std::size_t t) {
+      std::uint64_t cur = range_total_[t];
+      const std::size_t s_hi = slot_begin(t + 1);
+      for (std::size_t s = slot_begin(t); s < s_hi; ++s) {
+        tgt_off_[s] = cur;
+        for (std::size_t rc = 0; rc < n_replay; ++rc) {
+          std::uint64_t& c = cnt_[rc * n_slots + s];
+          const std::uint64_t n = c;
+          c = cur;
+          cur += n;
+        }
+      }
+    });
+    tgt_off_[n_slots] = total;
+
+    // Pass 4: scatter record ids to their target's list.
+    parallel_tasks(n_replay, [&](std::size_t rc) {
+      std::uint64_t* cur = cnt_.data() + rc * n_slots;
+      const std::size_t lo = chunk_rec_begin_[rc * kChunksPerWorker];
+      const std::size_t hi = chunk_rec_begin_[phase_hi(rc)];
+      for (std::size_t r = lo; r < hi; ++r) {
+        const NodeId key = by_dst ? rec_[r].v : rec_[r].u;
+        rec_order_[cur[key]++] = static_cast<std::uint32_t>(r);
+      }
+    });
+
+    // Pass 5: absorb each target's candidates in serial lex order,
+    // parallel across record-balanced target ranges.
+    absorb_split_.assign(n_replay + 1, 0);
+    absorb_split_[n_replay] = n_slots;
+    for (std::size_t p = 1; p < n_replay; ++p) {
+      const std::uint64_t pos = static_cast<std::uint64_t>(total) * p / n_replay;
+      const auto it = std::lower_bound(tgt_off_.begin(),
+                                       tgt_off_.begin() + n_slots + 1, pos);
+      absorb_split_[p] = static_cast<std::size_t>(it - tgt_off_.begin());
+      if (absorb_split_[p] > n_slots) absorb_split_[p] = n_slots;
+    }
+    parallel_tasks(n_replay, [&](std::size_t p) {
+      const std::size_t s_hi = absorb_split_[p + 1];
+      for (std::size_t s = absorb_split_[p]; s < s_hi; ++s) {
+        const std::uint64_t i_hi = tgt_off_[s + 1];
+        for (std::uint64_t i = tgt_off_[s]; i < i_hi; ++i) {
+          const std::uint32_t r = rec_order_[i];
+          const ReplayRec& rec = rec_[r];
+          rec_commit_[r] = fn(rec.u, rec.v, rec.w) ? 1 : 0;
+        }
+      }
+    });
+
+    // Pass 6: replay the stored commit flags through the serial
+    // commit/conflict accounting, per replay chunk, reduced ascending.
+    replay_stats_.assign(n_replay, KernelStats{});
+    parallel_tasks(n_replay, [&](std::size_t rc) {
+      KernelStats& st = replay_stats_[rc];
+      SweepScratch& sc = scratch_[rc];  // ensured by Phase A (rc < n_chunks)
+      const std::size_t p_hi = phase_hi(rc);
+      for (std::size_t pc = rc * kChunksPerWorker; pc < p_hi; ++pc) {
+        for (const std::size_t b : chunk_live_[pc]) {
+          const BlockMeta& meta = block_meta_[b];
+          const std::size_t base = b * ws;
+          std::size_t r = blk_rec_base_[b];
+          for (NodeId j = 0; j < meta.max_len; ++j) {
+            std::uint32_t commits = 0;
+            for (std::uint32_t l = 0; l < meta.lanes; ++l) {
+              const WorkItem& item = items[base + l];
+              if (!((meta.bits >> l) & 1) || j >= item.edge_count) {
+                sc.lane_active[l] = 0;
+                continue;
+              }
+              sc.lane_active[l] = 1;
+              const NodeId v = rec_[r].v;
+              sc.lane_dst[l] = v;
+              if (rec_commit_[r]) {
+                ++commits;
+                for (std::uint32_t p = 0; p < l; ++p) {
+                  if (sc.lane_active[p] && sc.lane_dst[p] == v) {
+                    st.atomic_conflicts += 1;
+                    break;
+                  }
+                }
+              }
+              ++r;
+            }
+            st.atomic_commits += commits;
+          }
+        }
+      }
+    });
+    for (std::size_t rc = 0; rc < n_replay; ++rc) stats += replay_stats_[rc];
+  }
+
   const Csr* graph_;
   SimConfig config_;
-  std::vector<NodeId> lane_dst_;
-  std::vector<std::uint8_t> lane_active_;
   std::vector<BlockMeta> block_meta_;  // per warp block, one sweep's worth
   std::vector<std::vector<std::size_t>> chunk_live_;  // live block ids
   std::vector<KernelStats> chunk_stats_;
   std::vector<SweepScratch> scratch_;
+  // Grouped-replay scratch; persistent across sweeps to amortize
+  // allocation (resize keeps capacity in steady state).
+  std::vector<ReplayRec> rec_;            // candidates, block-major = lex
+  std::vector<std::uint8_t> rec_commit_;  // fn's verdict per record
+  std::vector<std::uint32_t> rec_order_;  // record ids grouped by target
+  std::vector<std::uint64_t> cnt_;        // per-(chunk, target) cursors
+  std::vector<std::uint64_t> tgt_off_;    // per-target group begin
+  std::vector<std::uint64_t> range_total_;
+  std::vector<std::size_t> absorb_split_;
+  std::vector<std::size_t> blk_rec_base_;
+  std::vector<std::size_t> chunk_rec_begin_;
+  std::vector<KernelStats> replay_stats_;
+  std::uint64_t grouped_replays_ = 0;
   std::size_t chunks_override_ = 0;  // testing only; 0 = automatic
+  bool in_sweep_ = false;            // reentrancy guard
+};
+
+/// RAII form of Engine::set_sweep_chunks_for_test: restores the
+/// automatic chunking policy on scope exit, so a throwing test body or a
+/// failed ASSERT cannot leak a forced chunk count into later tests.
+class ScopedSweepChunks {
+ public:
+  ScopedSweepChunks(Engine& engine, std::size_t n) : engine_(&engine) {
+    engine_->set_sweep_chunks_for_test(n);
+  }
+  ~ScopedSweepChunks() { engine_->set_sweep_chunks_for_test(0); }
+  ScopedSweepChunks(const ScopedSweepChunks&) = delete;
+  ScopedSweepChunks& operator=(const ScopedSweepChunks&) = delete;
+
+ private:
+  Engine* engine_;
 };
 
 /// Builds one WorkItem per listed slot covering its whole adjacency.

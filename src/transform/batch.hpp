@@ -48,8 +48,23 @@ namespace graffix::transform {
 [[nodiscard]] bool serial_transforms();
 
 /// Test override: 1 forces serial, 0 forces batched, -1 restores the
-/// environment-variable behavior.
+/// environment-variable behavior. Prefer the ScopedSerialTransforms
+/// RAII guard below — a raw set leaks the override into later tests
+/// when an ASSERT fails or the body throws before the restore line.
 void set_serial_transforms_for_test(int force);
+
+/// RAII form of set_serial_transforms_for_test: forces the given mode
+/// (1 = serial oracle, 0 = batched) for the guard's lifetime and
+/// restores the environment-driven selection on scope exit.
+class ScopedSerialTransforms {
+ public:
+  explicit ScopedSerialTransforms(int force) {
+    set_serial_transforms_for_test(force);
+  }
+  ~ScopedSerialTransforms() { set_serial_transforms_for_test(-1); }
+  ScopedSerialTransforms(const ScopedSerialTransforms&) = delete;
+  ScopedSerialTransforms& operator=(const ScopedSerialTransforms&) = delete;
+};
 
 /// Epoch-stamped row-claim set: O(1) clear, O(1) claim/lookup. One
 /// instance is reused across all rounds of a phase so the stamp array is

@@ -1,0 +1,92 @@
+// Bench harness --json lifecycle: a rerun into the same path must
+// atomically REPLACE the previous document (write the staging file,
+// rename at finalize) instead of appending stale rows — the bug class
+// this pins is a perf-tracking JSON that accumulates one copy of every
+// table per rerun and silently corrupts trajectory tooling.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "harness.hpp"
+
+namespace graffix::bench {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+bool file_exists(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return static_cast<bool>(in);
+}
+
+std::vector<core::PreprocessReport> one_row(const char* graph) {
+  core::PreprocessReport row;
+  row.graph = graph;
+  row.seconds = 1.25;
+  row.extra_space_pct = 3.5;
+  row.edges_added = 42;
+  return {row};
+}
+
+TEST(BenchJson, RerunReplacesDocumentAtomically) {
+  const std::string path =
+      testing::TempDir() + "bench_json_rerun_test.json";
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+
+  // Run one: tables go to the staging file; the final path must not
+  // appear until finalize (a crashed run leaves no half-document).
+  set_json_output(path);
+  EXPECT_EQ(json_output_path(), path);
+  print_preprocessing_table("run-one table", one_row("graph-run-one"));
+  EXPECT_FALSE(file_exists(path))
+      << "document published before finalize — rename is not atomic";
+  finalize_json_output();
+  const std::string first = slurp(path);
+  EXPECT_NE(first.find("graph-run-one"), std::string::npos);
+
+  // Finalize is idempotent: a second call (the atexit hook firing after
+  // an explicit finalize) must not clobber the published document.
+  finalize_json_output();
+  EXPECT_EQ(slurp(path), first);
+
+  // Run two into the SAME path: while it is staging, readers still see
+  // the complete first document; after finalize they see ONLY the
+  // second — no stale rows carried over.
+  set_json_output(path);
+  print_preprocessing_table("run-two table", one_row("graph-run-two"));
+  EXPECT_EQ(slurp(path), first)
+      << "second run leaked into the published document before finalize";
+  finalize_json_output();
+  const std::string second = slurp(path);
+  EXPECT_NE(second.find("graph-run-two"), std::string::npos);
+  EXPECT_EQ(second.find("graph-run-one"), std::string::npos)
+      << "rerun appended to the previous document instead of replacing it";
+
+  // Disable JSON output so later tests (and the atexit hook) are no-ops,
+  // then clean up.
+  set_json_output("");
+  std::remove(path.c_str());
+}
+
+TEST(BenchJson, EmptyPathDisablesOutput) {
+  set_json_output("");
+  EXPECT_TRUE(json_output_path().empty());
+  // Must not crash or create files; tables just print.
+  print_preprocessing_table("no-json table", one_row("graph-silent"));
+  finalize_json_output();
+}
+
+}  // namespace
+}  // namespace graffix::bench

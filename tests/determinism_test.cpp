@@ -449,7 +449,7 @@ EngineRun run_engine_sweeps_chunked(const Csr& graph,
                                     NodeId dead_hi) {
   EngineRun r;
   sim::Engine engine(graph, sim::SimConfig{});
-  engine.set_sweep_chunks_for_test(chunks);
+  const sim::ScopedSweepChunks forced_chunks(engine, chunks);
   sim::SweepOptions opts;
   opts.weighted = graph.has_weights();
   r.dist.assign(graph.num_slots(), std::numeric_limits<double>::infinity());

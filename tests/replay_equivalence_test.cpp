@@ -1,0 +1,480 @@
+// Replay-equivalence contract for the grouped Phase B (DESIGN.md §7,
+// "commutative replay contract"): for every certified functor shape the
+// algorithms actually use — min-merge (SSSP relax, BFS levels),
+// sum-merge (PageRank push and pull), ordered absorb (BC backward
+// contributions) — the grouped parallel replay must produce KernelStats
+// and attribute bits IDENTICAL to the serial replay oracle, at every
+// thread count and chunking, including a partial tail warp and a fully
+// gated-out block. An intentionally order-sensitive functor must take
+// the serial fallback (never the grouped path) and still match the
+// fused serial oracle. The engine's reentrancy guard — the latent bug
+// fix that makes any of this legal — is pinned by death tests: nested
+// sweeps on one engine die loudly instead of corrupting scratch.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "gen/suite.hpp"
+#include "graph/csr.hpp"
+#include "sim/engine.hpp"
+#include "util/parallel.hpp"
+
+namespace graffix {
+namespace {
+
+constexpr int kThreadCounts[] = {1, 2, 8};
+constexpr std::size_t kChunkCounts[] = {2, 8};
+
+/// Pins the worker pool, runs fn, restores the hardware default.
+template <typename Fn>
+auto at_threads(int t, Fn&& fn) {
+  set_num_threads(t);
+  auto result = fn();
+  set_num_threads(0);
+  return result;
+}
+
+NodeId busiest_node(const Csr& g) {
+  NodeId best = 0, best_degree = 0;
+  for (NodeId v = 0; v < g.num_slots(); ++v) {
+    if (!g.is_hole(v) && g.degree(v) > best_degree) {
+      best = v;
+      best_degree = g.degree(v);
+    }
+  }
+  return best;
+}
+
+/// Everything one functor-shape run must reproduce bit-for-bit, plus
+/// which replay path the engine actually took.
+struct SweepRun {
+  sim::KernelStats stats;
+  std::vector<double> attr;
+  std::uint64_t grouped = 0;  // grouped_replays_for_test() at run end
+};
+
+void expect_same_run(const SweepRun& oracle, const SweepRun& got,
+                     const std::string& what) {
+  EXPECT_EQ(got.stats, oracle.stats) << what << ": stats differ";
+  ASSERT_EQ(got.attr.size(), oracle.attr.size()) << what;
+  EXPECT_EQ(std::memcmp(got.attr.data(), oracle.attr.data(),
+                        got.attr.size() * sizeof(double)),
+            0)
+      << what << ": attribute bits differ";
+}
+
+/// One functor shape: given (certified?, forced chunk count) runs the
+/// full sweep sequence on a fresh engine and returns the run record.
+/// chunks == 0 leaves the automatic policy (the fused serial path at
+/// one thread on any machine — the reference oracle).
+using ShapeFn = std::function<SweepRun(bool certified, std::size_t chunks)>;
+
+/// Drives the full differential matrix for one shape: fused serial
+/// oracle vs grouped replay at every (chunks, threads) cell, plus the
+/// uncertified two-phase run that pins the serial-replay fallback
+/// against the same oracle.
+void run_shape_differential(const ShapeFn& shape, const char* name) {
+  const SweepRun oracle =
+      at_threads(1, [&] { return shape(/*certified=*/false, /*chunks=*/0); });
+  EXPECT_EQ(oracle.grouped, 0u) << name << ": oracle must replay serially";
+  EXPECT_GT(oracle.stats.atomic_commits, 0u)
+      << name << ": vacuous shape proves nothing";
+
+  for (std::size_t chunks : kChunkCounts) {
+    // Serial-replay fallback on the two-phase path: identical too.
+    const SweepRun fallback = at_threads(
+        8, [&] { return shape(/*certified=*/false, chunks); });
+    EXPECT_EQ(fallback.grouped, 0u)
+        << name << ": uncertified functor must never take the grouped path";
+    expect_same_run(oracle, fallback,
+                    std::string(name) + " | serial fallback | chunks=" +
+                        std::to_string(chunks));
+    for (int t : kThreadCounts) {
+      const SweepRun got =
+          at_threads(t, [&] { return shape(/*certified=*/true, chunks); });
+      EXPECT_GT(got.grouped, 0u)
+          << name << ": certified functor never reached the grouped replay";
+      expect_same_run(oracle, got,
+                      std::string(name) + " | grouped | chunks=" +
+                          std::to_string(chunks) +
+                          " threads=" + std::to_string(t));
+    }
+  }
+}
+
+/// Work list with a genuinely partial tail warp (3 items dropped) and a
+/// gate window [dead_lo, dead_hi) covering one full non-tail warp block
+/// that stays dead for the whole run — the two block shapes where the
+/// grouped record layout could plausibly diverge from the serial walk.
+struct ShapeInputs {
+  Csr graph;
+  std::vector<sim::WorkItem> all_items;
+  std::span<const sim::WorkItem> items;
+  NodeId source = 0;
+  NodeId dead_lo = 0;
+  NodeId dead_hi = 0;
+};
+
+ShapeInputs make_inputs() {
+  ShapeInputs in;
+  in.graph = make_preset(GraphPreset::Rmat26, 11, 13);
+  in.all_items = sim::items_all_vertices(in.graph);
+  const std::uint32_t ws = sim::SimConfig{}.warp_size;
+  in.items = std::span<const sim::WorkItem>(in.all_items.data(),
+                                            in.all_items.size() - 3);
+  EXPECT_NE(in.items.size() % ws, 0u);  // tail warp genuinely partial
+  in.source = busiest_node(in.graph);
+  // No holes in the preset, so slot == item index and the window covers
+  // exactly one warp block; avoid the source's own block.
+  const std::size_t dead_b = (in.source / ws == 5) ? 6 : 5;
+  in.dead_lo = static_cast<NodeId>(dead_b * ws);
+  in.dead_hi = in.dead_lo + ws;
+  return in;
+}
+
+/// True for sources outside the dead window (composed into every gate).
+bool live_src(const ShapeInputs& in, NodeId u) {
+  return u < in.dead_lo || u >= in.dead_hi;
+}
+
+// --- the five certified shapes + the order-sensitive one -------------
+
+/// SSSP-style Jacobi min-plus: relaxes next[] from a stable dist[]
+/// snapshot — the exact shape the bench engine_sweep cell certifies.
+ShapeFn minplus_shape(const ShapeInputs& in) {
+  return [&in](bool certified, std::size_t chunks) {
+    SweepRun r;
+    sim::Engine engine(in.graph, sim::SimConfig{});
+    const sim::ScopedSweepChunks forced(engine, chunks);
+    sim::SweepOptions opts;
+    opts.weighted = in.graph.has_weights();
+    if (certified) {
+      opts.functor = {sim::MergeKind::Min, sim::MergeTarget::Dst};
+    }
+    std::vector<double> dist(in.graph.num_slots(),
+                             std::numeric_limits<double>::infinity());
+    dist[in.source] = 0.0;
+    std::vector<double> next(dist);
+    for (int s = 0; s < 3; ++s) {
+      engine.sweep_gated(
+          in.items, opts,
+          [&](NodeId u) { return live_src(in, u) && std::isfinite(dist[u]); },
+          [&](NodeId u, NodeId v, Weight w) {
+            const double nd = dist[u] + static_cast<double>(w);
+            if (nd < next[v]) {
+              next[v] = nd;
+              return true;
+            }
+            return false;
+          },
+          r.stats);
+      dist = next;
+    }
+    r.attr = std::move(dist);
+    r.grouped = engine.grouped_replays_for_test();
+    return r;
+  };
+}
+
+/// BFS-style Jacobi level merge: integer min into next_level[].
+ShapeFn bfs_shape(const ShapeInputs& in) {
+  return [&in](bool certified, std::size_t chunks) {
+    constexpr std::uint32_t kUnset = 0xffffffffu;
+    SweepRun r;
+    sim::Engine engine(in.graph, sim::SimConfig{});
+    const sim::ScopedSweepChunks forced(engine, chunks);
+    sim::SweepOptions opts;
+    opts.weighted = false;
+    if (certified) {
+      opts.functor = {sim::MergeKind::Min, sim::MergeTarget::Dst};
+    }
+    std::vector<std::uint32_t> level(in.graph.num_slots(), kUnset);
+    level[in.source] = 0;
+    std::vector<std::uint32_t> next(level);
+    for (int s = 0; s < 3; ++s) {
+      engine.sweep_gated(
+          in.items, opts,
+          [&](NodeId u) { return live_src(in, u) && level[u] != kUnset; },
+          [&](NodeId u, NodeId v, Weight) {
+            const std::uint32_t nl = level[u] + 1;
+            if (nl < next[v]) {
+              next[v] = nl;
+              return true;
+            }
+            return false;
+          },
+          r.stats);
+      level = next;
+    }
+    r.attr.assign(level.begin(), level.end());
+    r.grouped = engine.grouped_replays_for_test();
+    return r;
+  };
+}
+
+/// PageRank push: FP sum merged into next[v] — the shape where the
+/// per-target accumulation ORDER is observable in the bits, so this is
+/// the test that would catch any chunking-dependent absorb order.
+ShapeFn pr_push_shape(const ShapeInputs& in) {
+  return [&in](bool certified, std::size_t chunks) {
+    SweepRun r;
+    sim::Engine engine(in.graph, sim::SimConfig{});
+    const sim::ScopedSweepChunks forced(engine, chunks);
+    sim::SweepOptions opts;
+    opts.weighted = false;
+    if (certified) {
+      opts.functor = {sim::MergeKind::Sum, sim::MergeTarget::Dst};
+    }
+    const std::size_t n = in.graph.num_slots();
+    std::vector<double> rank(n, 1.0 / static_cast<double>(n));
+    std::vector<double> next(n, 0.15 / static_cast<double>(n));
+    for (int s = 0; s < 2; ++s) {
+      engine.sweep_gated(
+          in.items, opts,
+          [&](NodeId u) { return live_src(in, u) && in.graph.degree(u) > 0; },
+          [&](NodeId u, NodeId v, Weight) {
+            next[v] += 0.85 * rank[u] / static_cast<double>(in.graph.degree(u));
+            return true;
+          },
+          r.stats);
+      rank.swap(next);
+      std::fill(next.begin(), next.end(), 0.15 / static_cast<double>(n));
+    }
+    r.attr = std::move(rank);
+    r.grouped = engine.grouped_replays_for_test();
+    return r;
+  };
+}
+
+/// PageRank pull: FP sum merged into the SOURCE side (next[u] gathers
+/// from stable rank[v]) — exercises MergeTarget::Src grouping.
+ShapeFn pr_pull_shape(const ShapeInputs& in) {
+  return [&in](bool certified, std::size_t chunks) {
+    SweepRun r;
+    sim::Engine engine(in.graph, sim::SimConfig{});
+    const sim::ScopedSweepChunks forced(engine, chunks);
+    sim::SweepOptions opts;
+    opts.weighted = false;
+    if (certified) {
+      opts.functor = {sim::MergeKind::Sum, sim::MergeTarget::Src};
+    }
+    const std::size_t n = in.graph.num_slots();
+    std::vector<double> rank(n, 1.0 / static_cast<double>(n));
+    std::vector<double> next(n, 0.15 / static_cast<double>(n));
+    for (int s = 0; s < 2; ++s) {
+      engine.sweep_gated(
+          in.items, opts, [&](NodeId u) { return live_src(in, u); },
+          [&](NodeId u, NodeId v, Weight) {
+            const NodeId deg = std::max<NodeId>(in.graph.degree(v), 1);
+            next[u] += 0.85 * rank[v] / static_cast<double>(deg);
+            return true;
+          },
+          r.stats);
+      rank.swap(next);
+      std::fill(next.begin(), next.end(), 0.15 / static_cast<double>(n));
+    }
+    r.attr = std::move(rank);
+    r.grouped = engine.grouped_replays_for_test();
+    return r;
+  };
+}
+
+/// BC-backward-style ordered absorb: delta[u] accumulates sigma-weighted
+/// contributions read from sweep-stable arrays (sigma, prev).
+ShapeFn bc_absorb_shape(const ShapeInputs& in) {
+  return [&in](bool certified, std::size_t chunks) {
+    SweepRun r;
+    sim::Engine engine(in.graph, sim::SimConfig{});
+    const sim::ScopedSweepChunks forced(engine, chunks);
+    sim::SweepOptions opts;
+    opts.weighted = false;
+    if (certified) {
+      opts.functor = {sim::MergeKind::Absorb, sim::MergeTarget::Src};
+    }
+    const std::size_t n = in.graph.num_slots();
+    // Deterministic stand-ins for path counts and child deltas.
+    std::vector<double> sigma(n), prev(n);
+    for (std::size_t v = 0; v < n; ++v) {
+      sigma[v] = 1.0 + static_cast<double>(in.graph.degree(
+                           static_cast<NodeId>(v)));
+      prev[v] = static_cast<double>((v * 2654435761u) & 0xff) / 256.0;
+    }
+    std::vector<double> delta(n, 0.0);
+    engine.sweep_gated(
+        in.items, opts, [&](NodeId u) { return live_src(in, u); },
+        [&](NodeId u, NodeId v, Weight) {
+          delta[u] += (sigma[u] / sigma[v]) * (1.0 + prev[v]);
+          return true;
+        },
+        r.stats);
+    r.attr = std::move(delta);
+    r.grouped = engine.grouped_replays_for_test();
+    return r;
+  };
+}
+
+TEST(ReplayEquivalence, MinPlusMatchesSerialReplay) {
+  const ShapeInputs in = make_inputs();
+  run_shape_differential(minplus_shape(in), "sssp-minplus");
+}
+
+TEST(ReplayEquivalence, BfsLevelMatchesSerialReplay) {
+  const ShapeInputs in = make_inputs();
+  run_shape_differential(bfs_shape(in), "bfs-level");
+}
+
+TEST(ReplayEquivalence, PageRankPushSumMatchesSerialReplay) {
+  const ShapeInputs in = make_inputs();
+  run_shape_differential(pr_push_shape(in), "pr-push-sum");
+}
+
+TEST(ReplayEquivalence, PageRankPullSumMatchesSerialReplay) {
+  const ShapeInputs in = make_inputs();
+  run_shape_differential(pr_pull_shape(in), "pr-pull-sum");
+}
+
+TEST(ReplayEquivalence, BcAbsorbMatchesSerialReplay) {
+  const ShapeInputs in = make_inputs();
+  run_shape_differential(bc_absorb_shape(in), "bc-absorb");
+}
+
+TEST(ReplayEquivalence, OrderSensitiveFunctorTakesSerialFallback) {
+  // Gauss-Seidel relaxation reads the SAME array it merges into, so
+  // cross-target order is observable: it cannot be certified, and an
+  // uncertified functor must replay serially on the two-phase path and
+  // still match the fused serial engine bit for bit.
+  const ShapeInputs in = make_inputs();
+  auto run = [&](std::size_t chunks) {
+    SweepRun r;
+    sim::Engine engine(in.graph, sim::SimConfig{});
+    const sim::ScopedSweepChunks forced(engine, chunks);
+    sim::SweepOptions opts;
+    opts.weighted = in.graph.has_weights();
+    std::vector<double> dist(in.graph.num_slots(),
+                             std::numeric_limits<double>::infinity());
+    dist[in.source] = 0.0;
+    for (int s = 0; s < 3; ++s) {
+      engine.sweep_gated(
+          in.items, opts,
+          [&](NodeId u) { return live_src(in, u) && std::isfinite(dist[u]); },
+          [&](NodeId u, NodeId v, Weight w) {
+            const double nd = dist[u] + static_cast<double>(w);
+            if (nd < dist[v]) {
+              dist[v] = nd;
+              return true;
+            }
+            return false;
+          },
+          r.stats);
+    }
+    r.attr = std::move(dist);
+    r.grouped = engine.grouped_replays_for_test();
+    return r;
+  };
+  const SweepRun oracle = at_threads(1, [&] { return run(0); });
+  EXPECT_EQ(oracle.grouped, 0u);
+  EXPECT_GT(oracle.stats.atomic_commits, 0u);
+  for (std::size_t chunks : kChunkCounts) {
+    for (int t : kThreadCounts) {
+      const SweepRun got = at_threads(t, [&] { return run(chunks); });
+      EXPECT_EQ(got.grouped, 0u)
+          << "order-sensitive functor escaped onto the grouped path";
+      expect_same_run(oracle, got,
+                      "gauss-seidel | chunks=" + std::to_string(chunks) +
+                          " threads=" + std::to_string(t));
+    }
+  }
+}
+
+// --- reentrancy guard (the latent-bug fix) ---------------------------
+
+TEST(EngineReentrancy, SequentialSharingWorks) {
+  // Two logical drivers issuing sweeps on ONE engine strictly in turn is
+  // legal: the per-sweep scratch is quiescent between sweeps. This is
+  // the "work" half of "work or die loudly".
+  const Csr g = make_preset(GraphPreset::Rmat26, 10, 13);
+  const auto items = sim::items_all_vertices(g);
+  sim::Engine engine(g, sim::SimConfig{});
+  sim::SweepOptions opts;
+  opts.weighted = g.has_weights();
+  sim::KernelStats a_stats, b_stats;
+  std::vector<double> a_attr(g.num_slots(), 0.0), b_attr(g.num_slots(), 0.0);
+  for (int s = 0; s < 2; ++s) {
+    engine.sweep(
+        items, opts,
+        [&](NodeId u, NodeId v, Weight) {
+          a_attr[v] += a_attr[u] + 1.0;
+          return true;
+        },
+        a_stats);
+    engine.sweep(
+        items, opts,
+        [&](NodeId u, NodeId v, Weight) {
+          b_attr[v] += b_attr[u] + 2.0;
+          return true;
+        },
+        b_stats);
+  }
+  EXPECT_GT(a_stats.atomic_commits, 0u);
+  EXPECT_EQ(a_stats.atomic_commits, b_stats.atomic_commits);
+}
+
+TEST(EngineReentrancyDeathTest, NestedSweepDiesLoudly) {
+  // A functor (or gate) that drives another sweep on the SAME engine
+  // would silently corrupt block_meta_/chunk scratch before this PR's
+  // guard; now it must abort with a diagnostic naming the contract.
+  // Threadsafe style: the worker pool may hold live threads by the time
+  // this test forks, and "fast" style forbids that.
+  testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  const Csr g = make_preset(GraphPreset::Rmat26, 10, 13);
+  const auto items = sim::items_all_vertices(g);
+  const auto nested = [&] {
+    sim::Engine engine(g, sim::SimConfig{});
+    sim::SweepOptions opts;
+    opts.weighted = g.has_weights();
+    sim::KernelStats outer;
+    sim::KernelStats inner;
+    engine.sweep(
+        items, opts,
+        [&](NodeId, NodeId, Weight) {
+          engine.sweep(items, opts,
+                       [](NodeId, NodeId, Weight) { return false; }, inner);
+          return false;
+        },
+        outer);
+  };
+  EXPECT_DEATH(nested(), "re-entered mid-sweep");
+}
+
+TEST(EngineReentrancyDeathTest, NestedGateSweepDiesLoudly) {
+  // Same contract from the gate side: gates run during Phase A, where a
+  // nested sweep would race the chunk accounting itself.
+  testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  const Csr g = make_preset(GraphPreset::Rmat26, 10, 13);
+  const auto items = sim::items_all_vertices(g);
+  const auto nested_gate = [&] {
+    sim::Engine engine(g, sim::SimConfig{});
+    sim::SweepOptions opts;
+    opts.weighted = g.has_weights();
+    sim::KernelStats outer;
+    sim::KernelStats inner;
+    engine.sweep_gated(
+        items, opts,
+        [&](NodeId) {
+          engine.sweep(items, opts,
+                       [](NodeId, NodeId, Weight) { return false; }, inner);
+          return true;
+        },
+        [](NodeId, NodeId, Weight) { return false; }, outer);
+  };
+  EXPECT_DEATH(nested_gate(), "re-entered mid-sweep");
+}
+
+}  // namespace
+}  // namespace graffix

@@ -26,12 +26,6 @@ constexpr int kThreadCounts[] = {1, 2, 8};
 constexpr std::uint32_t kScale = 10;
 constexpr std::uint64_t kSeed = 7;
 
-/// Restores the environment-driven oracle selection on scope exit, so a
-/// failing assertion cannot leak a forced mode into later tests.
-struct OracleModeGuard {
-  ~OracleModeGuard() { set_serial_transforms_for_test(-1); }
-};
-
 /// Pins the worker pool, runs fn, restores the hardware default.
 template <typename Fn>
 auto at_threads(int t, Fn&& fn) {
@@ -87,16 +81,16 @@ void expect_same_latency(const LatencyResult& oracle, const LatencyResult& got,
 
 void run_latency_differential(const LatencyKnobs& knobs,
                               const char* knob_label) {
-  OracleModeGuard guard;
   std::uint64_t total_added = 0;
   std::uint64_t total_batched = 0;
   for (const SuiteEntry& entry : make_suite(kScale, kSeed)) {
-    set_serial_transforms_for_test(1);
-    const LatencyResult oracle =
-        at_threads(1, [&] { return latency_transform(entry.graph, knobs); });
+    const LatencyResult oracle = [&] {
+      ScopedSerialTransforms serial_mode(1);
+      return at_threads(1, [&] { return latency_transform(entry.graph, knobs); });
+    }();
     EXPECT_EQ(oracle.batching.rounds, 0u)
         << entry.name << ": oracle must not report batched rounds";
-    set_serial_transforms_for_test(0);
+    ScopedSerialTransforms batched_mode(0);
     for (int t : kThreadCounts) {
       const LatencyResult got =
           at_threads(t, [&] { return latency_transform(entry.graph, knobs); });
@@ -153,7 +147,6 @@ void expect_same_replication(const ReplicationResult& oracle,
 }
 
 void run_replication_differential(double threshold) {
-  OracleModeGuard guard;
   std::uint64_t total_filled = 0;
   std::uint64_t total_batched = 0;
   for (const SuiteEntry& entry : make_suite(kScale, kSeed)) {
@@ -161,10 +154,12 @@ void run_replication_differential(double threshold) {
     const Csr renumbered = apply_renumbering(entry.graph, renumber);
     CoalescingKnobs knobs;
     knobs.connectedness_threshold = threshold;
-    set_serial_transforms_for_test(1);
-    const ReplicationResult oracle = at_threads(
-        1, [&] { return replicate_into_holes(renumbered, renumber, knobs); });
-    set_serial_transforms_for_test(0);
+    const ReplicationResult oracle = [&] {
+      ScopedSerialTransforms serial_mode(1);
+      return at_threads(
+          1, [&] { return replicate_into_holes(renumbered, renumber, knobs); });
+    }();
+    ScopedSerialTransforms batched_mode(0);
     for (int t : kThreadCounts) {
       const ReplicationResult got = at_threads(
           t, [&] { return replicate_into_holes(renumbered, renumber, knobs); });
