@@ -1,8 +1,9 @@
 // Table 1: the input-graph suite. Prints |V|, |E|, degree statistics,
-// pseudo-diameter and mean clustering coefficient for each preset so the
-// regimes (skew, diameter class) can be checked against the paper's
-// suite.
-#include <cstdio>
+// pseudo-diameter, mean clustering coefficient, and CSR footprint for
+// each preset so the regimes (skew, diameter class) can be checked
+// against the paper's suite; with --json, emits the same rows (plus
+// memory_bytes) as a "graphs" table.
+#include <vector>
 
 #include "graph/properties.hpp"
 #include "harness.hpp"
@@ -11,25 +12,25 @@ int main(int argc, char** argv) {
   using namespace graffix;
   const bench::BenchOptions options = bench::parse_args(argc, argv);
 
-  std::printf("Table 1: input graphs (scale %u; paper ran scale-26-class "
-              "inputs)\n",
-              options.scale);
-  metrics::Table table({"Graph", "|V|", "|E|", "max deg", "mean deg",
-                        "pseudo-diam", "avg CC", "type"});
+  std::vector<bench::GraphSuiteRow> rows;
   for (const auto& entry : make_suite(options.scale, options.seed)) {
     const DegreeStats stats = degree_stats(entry.graph);
     const auto cc = clustering_coefficients(entry.graph);
-    const char* kind =
-        preset_is_power_law(entry.preset) ? "power-law" : "road network";
-    table.add_row({entry.name, std::to_string(entry.graph.num_nodes()),
-                   std::to_string(entry.graph.num_edges()),
-                   std::to_string(stats.max),
-                   metrics::Table::num(stats.mean, 1),
-                   std::to_string(pseudo_diameter(entry.graph)),
-                   metrics::Table::num(
-                       average_clustering_coefficient(cc, entry.graph), 3),
-                   kind});
+    bench::GraphSuiteRow row;
+    row.name = entry.name;
+    row.nodes = entry.graph.num_nodes();
+    row.edges = entry.graph.num_edges();
+    row.max_degree = stats.max;
+    row.mean_degree = stats.mean;
+    row.pseudo_diameter = pseudo_diameter(entry.graph);
+    row.avg_clustering = average_clustering_coefficient(cc, entry.graph);
+    row.memory_bytes = entry.graph.memory_bytes();
+    row.kind = preset_is_power_law(entry.preset) ? "power-law" : "road network";
+    rows.push_back(std::move(row));
   }
-  table.print();
+  bench::print_graphs_table(
+      "Table 1: input graphs (scale " + std::to_string(options.scale) +
+          "; paper ran scale-26-class inputs)",
+      rows);
   return 0;
 }

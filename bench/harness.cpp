@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "algorithms/bc.hpp"
+#include "util/arena.hpp"
 #include "util/logging.hpp"
 #include "util/parallel.hpp"
 
@@ -27,11 +28,18 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
-/// Appends one `{"table": <title>, "kind": <kind>, <body>}` line to the
-/// staging file. The final path is only ever touched by the atomic
-/// rename in finalize_json_output(), so a rerun into the same path
-/// replaces the previous document instead of accumulating stale rows,
-/// and a crashed run leaves the previous document intact.
+/// Appends one `{"table": <title>, "kind": <kind>, <body>,
+/// "peak_rss_bytes": N, "arena_peak_bytes": N}` line to the staging
+/// file. The final path is only ever touched by the atomic rename in
+/// finalize_json_output(), so a rerun into the same path replaces the
+/// previous document instead of accumulating stale rows, and a crashed
+/// run leaves the previous document intact.
+///
+/// Every table is stamped with the process-lifetime peak RSS and the
+/// scratch arena's high-water mark at the moment the table is emitted
+/// (DESIGN.md §9): memory regressions show up in the recorded JSON the
+/// same way timing regressions do, and the CI streaming smoke cell
+/// gates on the peak_rss_bytes field.
 template <typename Body>
 void json_table(const std::string& title, const char* kind, Body&& body) {
   if (g_json_tmp.empty()) return;
@@ -40,7 +48,9 @@ void json_table(const std::string& title, const char* kind, Body&& body) {
   std::fprintf(f, "{\"table\":\"%s\",\"kind\":\"%s\",",
                json_escape(title).c_str(), kind);
   body(f);
-  std::fprintf(f, "}\n");
+  std::fprintf(f, ",\"peak_rss_bytes\":%llu,\"arena_peak_bytes\":%llu}\n",
+               static_cast<unsigned long long>(peak_rss_bytes()),
+               static_cast<unsigned long long>(arena_peak_bytes()));
   std::fclose(f);
 }
 
@@ -220,6 +230,88 @@ void print_exact_table(const std::string& title,
       std::fprintf(f, "%s{\"algo\":\"%s\",\"graph\":\"%s\",\"exact_s\":%.9g}",
                    i > 0 ? "," : "", core::algorithm_name(row.algorithm),
                    json_escape(row.graph).c_str(), row.exact_seconds);
+    }
+    std::fprintf(f, "]");
+  });
+}
+
+void print_graphs_table(const std::string& title,
+                        const std::vector<GraphSuiteRow>& rows) {
+  std::printf("\n%s\n", title.c_str());
+  metrics::Table table({"Graph", "|V|", "|E|", "max deg", "mean deg",
+                        "pseudo-diam", "avg CC", "CSR MiB", "type"});
+  for (const auto& row : rows) {
+    table.add_row({row.name, std::to_string(row.nodes),
+                   std::to_string(row.edges), std::to_string(row.max_degree),
+                   metrics::Table::num(row.mean_degree, 1),
+                   std::to_string(row.pseudo_diameter),
+                   metrics::Table::num(row.avg_clustering, 3),
+                   metrics::Table::num(
+                       static_cast<double>(row.memory_bytes) / (1024.0 * 1024.0),
+                       1),
+                   row.kind});
+  }
+  table.print();
+  json_table(title, "graphs", [&](FILE* f) {
+    std::fprintf(f, "\"rows\":[");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const auto& row = rows[i];
+      std::fprintf(
+          f,
+          "%s{\"graph\":\"%s\",\"nodes\":%llu,\"edges\":%llu,"
+          "\"max_degree\":%llu,\"mean_degree\":%.9g,\"pseudo_diameter\":%llu,"
+          "\"avg_clustering\":%.9g,\"memory_bytes\":%llu,\"kind\":\"%s\"}",
+          i > 0 ? "," : "", json_escape(row.name).c_str(),
+          static_cast<unsigned long long>(row.nodes),
+          static_cast<unsigned long long>(row.edges),
+          static_cast<unsigned long long>(row.max_degree), row.mean_degree,
+          static_cast<unsigned long long>(row.pseudo_diameter),
+          row.avg_clustering,
+          static_cast<unsigned long long>(row.memory_bytes),
+          json_escape(row.kind).c_str());
+    }
+    std::fprintf(f, "]");
+  });
+}
+
+void print_memory_table(const std::string& title,
+                        const std::vector<MemoryPhaseRow>& rows,
+                        std::uint64_t csr_memory_bytes, std::uint64_t nodes,
+                        std::uint64_t edges) {
+  const auto mib = [](std::uint64_t bytes) {
+    return metrics::Table::num(static_cast<double>(bytes) / (1024.0 * 1024.0),
+                               1);
+  };
+  std::printf("\n%s\n", title.c_str());
+  metrics::Table table({"Phase", "Time (s)", "RSS before (MiB)",
+                        "RSS after (MiB)", "arena peak (MiB)"});
+  for (const auto& row : rows) {
+    table.add_row({row.name, metrics::Table::num(row.seconds, 3),
+                   mib(row.rss_before_bytes), mib(row.rss_after_bytes),
+                   mib(row.arena_peak_bytes)});
+  }
+  table.print();
+  std::printf("final CSR: %llu nodes, %llu edges, %s MiB owned\n",
+              static_cast<unsigned long long>(nodes),
+              static_cast<unsigned long long>(edges),
+              mib(csr_memory_bytes).c_str());
+  json_table(title, "memory", [&](FILE* f) {
+    std::fprintf(f,
+                 "\"nodes\":%llu,\"edges\":%llu,\"csr_memory_bytes\":%llu,"
+                 "\"phases\":[",
+                 static_cast<unsigned long long>(nodes),
+                 static_cast<unsigned long long>(edges),
+                 static_cast<unsigned long long>(csr_memory_bytes));
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const auto& row = rows[i];
+      std::fprintf(f,
+                   "%s{\"phase\":\"%s\",\"seconds\":%.9g,"
+                   "\"rss_before_bytes\":%llu,\"rss_after_bytes\":%llu,"
+                   "\"arena_peak_bytes\":%llu}",
+                   i > 0 ? "," : "", json_escape(row.name).c_str(), row.seconds,
+                   static_cast<unsigned long long>(row.rss_before_bytes),
+                   static_cast<unsigned long long>(row.rss_after_bytes),
+                   static_cast<unsigned long long>(row.arena_peak_bytes));
     }
     std::fprintf(f, "]");
   });

@@ -73,6 +73,50 @@ void print_exact_table(const std::string& title,
                        const std::vector<core::ExperimentRow>& rows,
                        double bc_scale_factor = 1.0);
 
+/// One Table 1 row (bench_table1_graphs): structural statistics plus
+/// the graph's owned heap bytes (Csr::memory_bytes()), so the recorded
+/// JSON ties every downstream peak-RSS receipt back to the graph size
+/// it was measured against.
+struct GraphSuiteRow {
+  std::string name;
+  std::uint64_t nodes = 0;
+  std::uint64_t edges = 0;
+  std::uint64_t max_degree = 0;
+  double mean_degree = 0.0;
+  std::uint64_t pseudo_diameter = 0;
+  double avg_clustering = 0.0;
+  std::uint64_t memory_bytes = 0;
+  std::string kind;  // "power-law" | "road network"
+};
+
+/// Prints the Table 1 suite table and emits one "graphs" JSON table
+/// with a memory_bytes field per row.
+void print_graphs_table(const std::string& title,
+                        const std::vector<GraphSuiteRow>& rows);
+
+/// One phase of the streaming-memory smoke (bench_memory_streaming):
+/// wall seconds plus RSS and scratch-arena readings around the phase.
+/// rss_* come from current_rss_bytes() (the getrusage peak never
+/// decreases, so per-phase numbers must use the instantaneous reading);
+/// arena_peak_bytes is the arena high-water during the phase (the bench
+/// calls arena_reset_peak() at each phase start).
+struct MemoryPhaseRow {
+  std::string name;
+  double seconds = 0.0;
+  std::uint64_t rss_before_bytes = 0;
+  std::uint64_t rss_after_bytes = 0;
+  std::uint64_t arena_peak_bytes = 0;
+};
+
+/// Prints the per-phase memory table and emits one "memory" JSON table
+/// carrying csr_memory_bytes (the final graph's owned heap bytes) next
+/// to the auto-stamped peak_rss_bytes, so the CI streaming smoke cell
+/// can gate peak_rss_bytes <= 2.0 * csr_memory_bytes on a single line.
+void print_memory_table(const std::string& title,
+                        const std::vector<MemoryPhaseRow>& rows,
+                        std::uint64_t csr_memory_bytes, std::uint64_t nodes,
+                        std::uint64_t edges);
+
 /// Prints a Table 5-style preprocessing table.
 void print_preprocessing_table(const std::string& title,
                                const std::vector<core::PreprocessReport>& rows);

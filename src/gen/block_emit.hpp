@@ -1,0 +1,86 @@
+// Shared chunked-emission driver for the block-parallel generators.
+//
+// rmat and erdos_renyi generate edge e from the per-block RNG stream
+// make_stream(seed, e / kGenBlock), so the whole edge list is a pure
+// function of the seed and can be REPLAYED: emit_blocked_stream() walks
+// the blocks in order, fills a bounded staging buffer in parallel
+// (kGenBlock-sized groups, same per-block streams as the materializing
+// path), and hands the stream to the sink in consecutive spans of the
+// requested chunk size. Concatenating every span reproduces the
+// materializing generator's edge vector bit for bit — for any chunk
+// size and any thread count — which is what lets
+// build_streaming_csr() call the same emitter twice (count pass,
+// scatter pass) without ever holding the whole triple list.
+//
+// Peak staging memory is chunk_edges - 1 carried-over edges plus one
+// round of blocks (>= one chunk's worth, >= 4 blocks per worker so the
+// parallel fill has work), capped at the stream length.
+#pragma once
+
+#include <algorithm>
+#include <cstring>
+#include <span>
+
+#include "graph/builder.hpp"
+#include "util/arena.hpp"
+#include "util/parallel.hpp"
+#include "util/types.hpp"
+
+namespace graffix {
+
+/// Block size shared by every block-parallel generator; edge e draws
+/// from make_stream(seed, e / kGenBlock). Changing this changes every
+/// generated graph.
+inline constexpr EdgeId kGenBlock = EdgeId{1} << 14;
+
+/// Streams `m` generator edges to `sink` in spans of `chunk_edges`
+/// (final span may be shorter; 0 means one whole-stream span).
+/// `fill_block(blk, out, count)` must write block blk's `count` edges —
+/// the same bytes the materializing path puts at [blk * kGenBlock, ...).
+template <typename FillBlock>
+void emit_blocked_stream(EdgeId m, std::size_t chunk_edges,
+                         const EdgeSink& sink, FillBlock&& fill_block) {
+  if (m == 0) return;
+  const auto chunk =
+      chunk_edges == 0 ? static_cast<std::size_t>(m) : chunk_edges;
+  const EdgeId num_blocks = (m + kGenBlock - 1) / kGenBlock;
+  const auto workers = static_cast<EdgeId>(effective_workers());
+  const EdgeId blocks_per_round = std::min<EdgeId>(
+      num_blocks,
+      std::max<EdgeId>((chunk + kGenBlock - 1) / kGenBlock, workers * 4));
+  const auto stage_cap = std::min<std::size_t>(
+      (chunk - 1) + static_cast<std::size_t>(blocks_per_round * kGenBlock),
+      static_cast<std::size_t>(m));
+  ArenaBuffer<EdgeTriple> stage(stage_cap);
+
+  std::size_t pending = 0;  // staged edges not yet handed to the sink
+  for (EdgeId blk0 = 0; blk0 < num_blocks; blk0 += blocks_per_round) {
+    const EdgeId blk1 = std::min(blk0 + blocks_per_round, num_blocks);
+    parallel_for(blk0, blk1, [&](EdgeId blk) {
+      const EdgeId lo = blk * kGenBlock;
+      const EdgeId hi = std::min(lo + kGenBlock, m);
+      fill_block(blk, stage.data() + pending +
+                          static_cast<std::size_t>(lo - blk0 * kGenBlock),
+                 hi - lo);
+    });
+    pending += static_cast<std::size_t>(std::min(blk1 * kGenBlock, m) -
+                                        blk0 * kGenBlock);
+    std::size_t off = 0;
+    while (pending - off >= chunk) {
+      sink(std::span<const EdgeTriple>(stage.data() + off, chunk));
+      off += chunk;
+    }
+    if (off > 0) {
+      if (pending > off) {
+        std::memmove(stage.data(), stage.data() + off,
+                     (pending - off) * sizeof(EdgeTriple));
+      }
+      pending -= off;
+    }
+  }
+  if (pending > 0) {
+    sink(std::span<const EdgeTriple>(stage.data(), pending));
+  }
+}
+
+}  // namespace graffix

@@ -2,31 +2,42 @@
 
 #include <vector>
 
+#include "gen/block_emit.hpp"
 #include "graph/builder.hpp"
+#include "graph/streaming_builder.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace graffix {
 
+namespace {
+
+/// Writes block `blk`'s `count` edges — the single source of truth both
+/// the materializing and streaming paths draw from.
+void fill_er_block(const ErdosRenyiParams& p, NodeId n, EdgeId blk,
+                   EdgeTriple* out, EdgeId count) {
+  Pcg32 rng = make_stream(p.seed, blk);
+  for (EdgeId i = 0; i < count; ++i) {
+    const NodeId u = rng.next_bounded(n);
+    const NodeId v = rng.next_bounded(n);
+    const Weight w =
+        p.weighted ? 1.0f + rng.next_float() * (p.max_weight - 1.0f) : 1.0f;
+    out[i] = {u, v, w};
+  }
+}
+
+}  // namespace
+
 Csr generate_erdos_renyi(const ErdosRenyiParams& params) {
   const NodeId n = NodeId{1} << params.scale;
   const EdgeId m = static_cast<EdgeId>(params.edge_factor) * n;
 
-  constexpr EdgeId kBlock = 1 << 14;
-  const EdgeId num_blocks = (m + kBlock - 1) / kBlock;
+  const EdgeId num_blocks = (m + kGenBlock - 1) / kGenBlock;
   std::vector<EdgeTriple> edges(m);
   parallel_for(EdgeId{0}, num_blocks, [&](EdgeId blk) {
-    Pcg32 rng = make_stream(params.seed, blk);
-    const EdgeId lo = blk * kBlock;
-    const EdgeId hi = std::min(lo + kBlock, m);
-    for (EdgeId e = lo; e < hi; ++e) {
-      const NodeId u = rng.next_bounded(n);
-      const NodeId v = rng.next_bounded(n);
-      const Weight w = params.weighted
-                           ? 1.0f + rng.next_float() * (params.max_weight - 1.0f)
-                           : 1.0f;
-      edges[e] = {u, v, w};
-    }
+    const EdgeId lo = blk * kGenBlock;
+    const EdgeId hi = std::min(lo + kGenBlock, m);
+    fill_er_block(params, n, blk, edges.data() + lo, hi - lo);
   });
 
   GraphBuilder builder(n);
@@ -34,6 +45,27 @@ Csr generate_erdos_renyi(const ErdosRenyiParams& params) {
   builder.set_drop_self_loops(true);
   builder.add_edges(std::move(edges));
   return builder.build();
+}
+
+void emit_erdos_renyi(const ErdosRenyiParams& params, std::size_t chunk_edges,
+                      const EdgeSink& sink) {
+  const NodeId n = NodeId{1} << params.scale;
+  const EdgeId m = static_cast<EdgeId>(params.edge_factor) * n;
+  emit_blocked_stream(m, chunk_edges, sink,
+                      [&](EdgeId blk, EdgeTriple* out, EdgeId count) {
+                        fill_er_block(params, n, blk, out, count);
+                      });
+}
+
+Csr generate_erdos_renyi_streaming(const ErdosRenyiParams& params,
+                                   std::size_t chunk_edges) {
+  const NodeId n = NodeId{1} << params.scale;
+  StreamingCsrOptions o;
+  o.weighted = params.weighted;
+  o.drop_self_loops = true;
+  return build_streaming_csr(n, o, [&](const EdgeSink& sink) {
+    emit_erdos_renyi(params, chunk_edges, sink);
+  });
 }
 
 }  // namespace graffix

@@ -6,6 +6,7 @@
 #include <cstdint>
 
 #include "graph/csr.hpp"
+#include "graph/streaming_builder.hpp"
 
 namespace graffix {
 
@@ -18,5 +19,17 @@ struct ErdosRenyiParams {
 };
 
 [[nodiscard]] Csr generate_erdos_renyi(const ErdosRenyiParams& params);
+
+/// Streams the generator's edge list to `sink` in spans of `chunk_edges`
+/// (0 = one whole-stream span); replayable, bit-identical to the
+/// materializing path's edge vector on concatenation.
+void emit_erdos_renyi(const ErdosRenyiParams& params, std::size_t chunk_edges,
+                      const EdgeSink& sink);
+
+/// Byte-identical to generate_erdos_renyi via the two-pass streaming
+/// build (one chunk of transient memory instead of the triple list).
+[[nodiscard]] Csr generate_erdos_renyi_streaming(
+    const ErdosRenyiParams& params,
+    std::size_t chunk_edges = kDefaultStreamChunk);
 
 }  // namespace graffix

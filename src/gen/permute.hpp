@@ -18,4 +18,9 @@ namespace graffix {
 /// each adjacency is preserved (targets are remapped in place).
 [[nodiscard]] Csr permute_vertices(const Csr& graph, std::uint64_t seed);
 
+/// Memory-lean overload: consumes `graph`, freeing its arrays in a
+/// staggered order mid-permute (base targets before the new weights
+/// allocate). Byte-identical output to the const overload.
+[[nodiscard]] Csr permute_vertices(Csr&& graph, std::uint64_t seed);
+
 }  // namespace graffix

@@ -2,7 +2,9 @@
 
 #include <vector>
 
+#include "gen/block_emit.hpp"
 #include "graph/builder.hpp"
+#include "graph/streaming_builder.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 
@@ -42,6 +44,25 @@ EdgeTriple rmat_edge(const RmatParams& p, Pcg32& rng, NodeId n) {
   return {u, v, w};
 }
 
+/// Writes block `blk`'s `count` edges — the single source of truth both
+/// the materializing and streaming paths draw from.
+void fill_rmat_block(const RmatParams& p, NodeId n, EdgeId blk,
+                     EdgeTriple* out, EdgeId count) {
+  Pcg32 rng = make_stream(p.seed, blk);
+  for (EdgeId i = 0; i < count; ++i) {
+    out[i] = rmat_edge(p, rng, n);
+  }
+}
+
+StreamingCsrOptions rmat_csr_options(const RmatParams& params) {
+  StreamingCsrOptions o;
+  o.weighted = params.weighted;
+  o.drop_self_loops = true;
+  o.dedup = params.dedup ? GraphBuilder::Dedup::KeepMinWeight
+                         : GraphBuilder::Dedup::None;
+  return o;
+}
+
 }  // namespace
 
 Csr generate_rmat(const RmatParams& params) {
@@ -49,16 +70,12 @@ Csr generate_rmat(const RmatParams& params) {
   const EdgeId m = static_cast<EdgeId>(params.edge_factor) * n;
 
   // Deterministic parallel generation: fixed per-block streams.
-  constexpr EdgeId kBlock = 1 << 14;
-  const EdgeId num_blocks = (m + kBlock - 1) / kBlock;
+  const EdgeId num_blocks = (m + kGenBlock - 1) / kGenBlock;
   std::vector<EdgeTriple> edges(m);
   parallel_for(EdgeId{0}, num_blocks, [&](EdgeId blk) {
-    Pcg32 rng = make_stream(params.seed, blk);
-    const EdgeId lo = blk * kBlock;
-    const EdgeId hi = std::min(lo + kBlock, m);
-    for (EdgeId e = lo; e < hi; ++e) {
-      edges[e] = rmat_edge(params, rng, n);
-    }
+    const EdgeId lo = blk * kGenBlock;
+    const EdgeId hi = std::min(lo + kGenBlock, m);
+    fill_rmat_block(params, n, blk, edges.data() + lo, hi - lo);
   });
 
   GraphBuilder builder(n);
@@ -67,6 +84,25 @@ Csr generate_rmat(const RmatParams& params) {
   if (params.dedup) builder.set_dedup(GraphBuilder::Dedup::KeepMinWeight);
   builder.add_edges(std::move(edges));
   return builder.build();
+}
+
+void emit_rmat(const RmatParams& params, std::size_t chunk_edges,
+               const EdgeSink& sink) {
+  const NodeId n = NodeId{1} << params.scale;
+  const EdgeId m = static_cast<EdgeId>(params.edge_factor) * n;
+  emit_blocked_stream(m, chunk_edges, sink,
+                      [&](EdgeId blk, EdgeTriple* out, EdgeId count) {
+                        fill_rmat_block(params, n, blk, out, count);
+                      });
+}
+
+Csr generate_rmat_streaming(const RmatParams& params,
+                            std::size_t chunk_edges) {
+  const NodeId n = NodeId{1} << params.scale;
+  return build_streaming_csr(n, rmat_csr_options(params),
+                             [&](const EdgeSink& sink) {
+                               emit_rmat(params, chunk_edges, sink);
+                             });
 }
 
 }  // namespace graffix

@@ -7,6 +7,7 @@
 #include <cstdint>
 
 #include "graph/csr.hpp"
+#include "graph/streaming_builder.hpp"
 
 namespace graffix {
 
@@ -26,5 +27,18 @@ struct RmatParams {
 /// Generates a directed R-MAT graph. Deterministic for a fixed seed,
 /// independent of thread count.
 [[nodiscard]] Csr generate_rmat(const RmatParams& params);
+
+/// Streams the generator's edge list to `sink` in spans of `chunk_edges`
+/// (0 = one whole-stream span). Concatenating the spans reproduces
+/// generate_rmat's internal edge vector bit for bit; replayable —
+/// repeated calls emit the identical stream.
+void emit_rmat(const RmatParams& params, std::size_t chunk_edges,
+               const EdgeSink& sink);
+
+/// Builds the same Csr as generate_rmat (byte-identical) through the
+/// two-pass streaming path: peak transient memory is one chunk plus the
+/// final arrays instead of the whole triple list.
+[[nodiscard]] Csr generate_rmat_streaming(
+    const RmatParams& params, std::size_t chunk_edges = kDefaultStreamChunk);
 
 }  // namespace graffix

@@ -3,27 +3,30 @@
 #include <vector>
 
 #include "graph/builder.hpp"
+#include "graph/streaming_builder.hpp"
+#include "util/arena.hpp"
 #include "util/rng.hpp"
 
 namespace graffix {
 
-Csr generate_road_grid(const RoadGridParams& params) {
+namespace {
+
+/// Serial lattice walk — the single source of truth for both paths.
+/// Calls push(e) for every edge in stream order; the RNG draw sequence
+/// is fixed by the visit order, so the stream is replayable.
+template <typename Push>
+void walk_road_grid(const RoadGridParams& params, Push&& push) {
   const NodeId w = params.width;
   const NodeId h = params.height;
-  const NodeId n = w * h;
   auto id = [w](NodeId x, NodeId y) { return y * w + x; };
 
-  GraphBuilder builder(n);
-  builder.set_weighted(params.weighted);
-  builder.reserve(static_cast<std::size_t>(n) * 5);
   Pcg32 rng = make_stream(params.seed, 0);
-
   auto add_bidir = [&](NodeId a, NodeId b) {
     const Weight weight =
         params.weighted ? 1.0f + rng.next_float() * (params.max_weight - 1.0f)
                         : 1.0f;
-    builder.add_edge(a, b, weight);
-    builder.add_edge(b, a, weight);
+    push(EdgeTriple{a, b, weight});
+    push(EdgeTriple{b, a, weight});
   };
 
   for (NodeId y = 0; y < h; ++y) {
@@ -41,7 +44,50 @@ Csr generate_road_grid(const RoadGridParams& params) {
       }
     }
   }
+}
+
+}  // namespace
+
+Csr generate_road_grid(const RoadGridParams& params) {
+  const NodeId n = params.width * params.height;
+  GraphBuilder builder(n);
+  builder.set_weighted(params.weighted);
+  // Exact bound: <= 3 bidirectional arcs per cell.
+  builder.reserve_edges(static_cast<std::size_t>(n) * 6);
+  walk_road_grid(params, [&](const EdgeTriple& e) {
+    builder.add_edge(e.src, e.dst, e.weight);
+  });
   return builder.build();
+}
+
+void emit_road_grid(const RoadGridParams& params, std::size_t chunk_edges,
+                    const EdgeSink& sink) {
+  const auto n = static_cast<std::size_t>(params.width) * params.height;
+  // 0 = whole stream in one span; 6n is the exact upper bound.
+  const std::size_t chunk = chunk_edges == 0 ? std::max<std::size_t>(n * 6, 1)
+                                             : chunk_edges;
+  ArenaBuffer<EdgeTriple> stage(chunk);
+  std::size_t len = 0;
+  walk_road_grid(params, [&](const EdgeTriple& e) {
+    stage[len++] = e;
+    if (len == chunk) {
+      sink(std::span<const EdgeTriple>(stage.data(), len));
+      len = 0;
+    }
+  });
+  if (len > 0) {
+    sink(std::span<const EdgeTriple>(stage.data(), len));
+  }
+}
+
+Csr generate_road_grid_streaming(const RoadGridParams& params,
+                                 std::size_t chunk_edges) {
+  const NodeId n = params.width * params.height;
+  StreamingCsrOptions o;
+  o.weighted = params.weighted;
+  return build_streaming_csr(n, o, [&](const EdgeSink& sink) {
+    emit_road_grid(params, chunk_edges, sink);
+  });
 }
 
 }  // namespace graffix

@@ -9,6 +9,7 @@
 #include <cstdint>
 
 #include "graph/csr.hpp"
+#include "graph/streaming_builder.hpp"
 
 namespace graffix {
 
@@ -24,5 +25,17 @@ struct RoadGridParams {
 
 /// Generates a directed (symmetric) road-like lattice.
 [[nodiscard]] Csr generate_road_grid(const RoadGridParams& params);
+
+/// Streams the lattice walk's edge list to `sink` in spans of
+/// `chunk_edges` (0 = one whole-stream span); replayable, bit-identical
+/// to the materializing path's edge sequence on concatenation.
+void emit_road_grid(const RoadGridParams& params, std::size_t chunk_edges,
+                    const EdgeSink& sink);
+
+/// Byte-identical to generate_road_grid via the two-pass streaming
+/// build.
+[[nodiscard]] Csr generate_road_grid_streaming(
+    const RoadGridParams& params,
+    std::size_t chunk_edges = kDefaultStreamChunk);
 
 }  // namespace graffix

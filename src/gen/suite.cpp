@@ -1,6 +1,7 @@
 #include "gen/suite.hpp"
 
 #include <cmath>
+#include <utility>
 
 #include "gen/erdos_renyi.hpp"
 #include "gen/permute.hpp"
@@ -32,62 +33,104 @@ bool preset_is_power_law(GraphPreset preset) {
 
 namespace {
 
-/// Raw generator output for one preset (before id permutation).
-Csr make_preset_raw(GraphPreset preset, std::uint32_t scale,
-                    std::uint64_t seed) {
+/// Generator parameters for one preset — the single source of truth the
+/// materializing and streaming paths both instantiate from.
+struct PresetSpec {
+  enum class Kind { Rmat, ErdosRenyi, RoadGrid };
+  Kind kind = Kind::Rmat;
+  RmatParams rmat;
+  ErdosRenyiParams er;
+  RoadGridParams road;
+};
+
+PresetSpec preset_spec(GraphPreset preset, std::uint32_t scale,
+                       std::uint64_t seed) {
+  PresetSpec s;
   switch (preset) {
     case GraphPreset::Rmat26: {
-      RmatParams p;
-      p.scale = scale;
-      p.edge_factor = 16;
-      p.seed = seed ^ 0x11;
-      return generate_rmat(p);
+      s.kind = PresetSpec::Kind::Rmat;
+      s.rmat.scale = scale;
+      s.rmat.edge_factor = 16;
+      s.rmat.seed = seed ^ 0x11;
+      return s;
     }
     case GraphPreset::Random26: {
-      ErdosRenyiParams p;
-      p.scale = scale;
-      p.edge_factor = 16;
-      p.seed = seed ^ 0x22;
-      return generate_erdos_renyi(p);
+      s.kind = PresetSpec::Kind::ErdosRenyi;
+      s.er.scale = scale;
+      s.er.edge_factor = 16;
+      s.er.seed = seed ^ 0x22;
+      return s;
     }
     case GraphPreset::LiveJournal: {
       // Social network: milder skew than rmat26 (paper LJ: 4.8M nodes,
       // 68.9M edges => edge factor ~14).
-      RmatParams p;
-      p.scale = scale;
-      p.edge_factor = 14;
-      p.a = 0.48;
-      p.b = 0.22;
-      p.c = 0.22;
-      p.d = 0.08;
-      p.seed = seed ^ 0x33;
-      return generate_rmat(p);
+      s.kind = PresetSpec::Kind::Rmat;
+      s.rmat.scale = scale;
+      s.rmat.edge_factor = 14;
+      s.rmat.a = 0.48;
+      s.rmat.b = 0.22;
+      s.rmat.c = 0.22;
+      s.rmat.d = 0.08;
+      s.rmat.seed = seed ^ 0x33;
+      return s;
     }
     case GraphPreset::UsaRoad: {
       // Rectangle with ~2^scale nodes; paper USA-road has E/V ~ 2.4 which
       // the lattice's 4-connectivity (minus removals) matches.
-      RoadGridParams p;
-      const auto side = static_cast<NodeId>(
-          std::lround(std::sqrt(std::pow(2.0, scale))));
-      p.width = side;
-      p.height = side;
-      p.seed = seed ^ 0x44;
-      return generate_road_grid(p);
+      s.kind = PresetSpec::Kind::RoadGrid;
+      const auto side =
+          static_cast<NodeId>(std::lround(std::sqrt(std::pow(2.0, scale))));
+      s.road.width = side;
+      s.road.height = side;
+      s.road.seed = seed ^ 0x44;
+      return s;
     }
     case GraphPreset::Twitter: {
       // Extreme skew, densest graph in the suite (paper: ef ~35).
-      RmatParams p;
-      p.scale = scale;
-      p.edge_factor = 32;
-      p.a = 0.62;
-      p.b = 0.18;
-      p.c = 0.15;
-      p.d = 0.05;
-      p.seed = seed ^ 0x55;
-      return generate_rmat(p);
+      s.kind = PresetSpec::Kind::Rmat;
+      s.rmat.scale = scale;
+      s.rmat.edge_factor = 32;
+      s.rmat.a = 0.62;
+      s.rmat.b = 0.18;
+      s.rmat.c = 0.15;
+      s.rmat.d = 0.05;
+      s.rmat.seed = seed ^ 0x55;
+      return s;
     }
   }
   GRAFFIX_CHECK(false, "unknown preset");
+  return s;
+}
+
+/// Raw generator output for one preset (before id permutation).
+Csr make_preset_raw(GraphPreset preset, std::uint32_t scale,
+                    std::uint64_t seed) {
+  const PresetSpec s = preset_spec(preset, scale, seed);
+  switch (s.kind) {
+    case PresetSpec::Kind::Rmat:
+      return generate_rmat(s.rmat);
+    case PresetSpec::Kind::ErdosRenyi:
+      return generate_erdos_renyi(s.er);
+    case PresetSpec::Kind::RoadGrid:
+      return generate_road_grid(s.road);
+  }
+  GRAFFIX_CHECK(false, "unknown preset kind");
+  return {};
+}
+
+/// Streaming-path counterpart of make_preset_raw; byte-identical output.
+Csr make_preset_raw_streaming(GraphPreset preset, std::uint32_t scale,
+                              std::uint64_t seed, std::size_t chunk_edges) {
+  const PresetSpec s = preset_spec(preset, scale, seed);
+  switch (s.kind) {
+    case PresetSpec::Kind::Rmat:
+      return generate_rmat_streaming(s.rmat, chunk_edges);
+    case PresetSpec::Kind::ErdosRenyi:
+      return generate_erdos_renyi_streaming(s.er, chunk_edges);
+    case PresetSpec::Kind::RoadGrid:
+      return generate_road_grid_streaming(s.road, chunk_edges);
+  }
+  GRAFFIX_CHECK(false, "unknown preset kind");
   return {};
 }
 
@@ -100,6 +143,37 @@ Csr make_preset(GraphPreset preset, std::uint32_t scale, std::uint64_t seed) {
   // otherwise leave artificial id locality that no real input has (see
   // gen/permute.hpp).
   return permute_vertices(raw, seed ^ 0x77);
+}
+
+Csr make_preset_streaming(GraphPreset preset, std::uint32_t scale,
+                          std::uint64_t seed, std::size_t chunk_edges) {
+  GRAFFIX_CHECK(scale >= 6 && scale <= 26, "scale %u out of range", scale);
+  // The raw build streams (never holds the triple list); the id
+  // permutation then rebuilds in place at ~2x the final graph — still
+  // the peak-memory win over the materializing path's ~3x, and the only
+  // ordering that keeps the output byte-identical to make_preset
+  // (permute_vertices preserves raw intra-row order, so permuting
+  // before/inside the build would produce different rows).
+  Csr raw = make_preset_raw_streaming(preset, scale, seed, chunk_edges);
+  return permute_vertices(std::move(raw), seed ^ 0x77);
+}
+
+void emit_preset(GraphPreset preset, std::uint32_t scale, std::uint64_t seed,
+                 std::size_t chunk_edges, const EdgeSink& sink) {
+  GRAFFIX_CHECK(scale >= 6 && scale <= 26, "scale %u out of range", scale);
+  const PresetSpec s = preset_spec(preset, scale, seed);
+  switch (s.kind) {
+    case PresetSpec::Kind::Rmat:
+      emit_rmat(s.rmat, chunk_edges, sink);
+      return;
+    case PresetSpec::Kind::ErdosRenyi:
+      emit_erdos_renyi(s.er, chunk_edges, sink);
+      return;
+    case PresetSpec::Kind::RoadGrid:
+      emit_road_grid(s.road, chunk_edges, sink);
+      return;
+  }
+  GRAFFIX_CHECK(false, "unknown preset kind");
 }
 
 std::vector<SuiteEntry> make_suite(std::uint32_t scale, std::uint64_t seed) {

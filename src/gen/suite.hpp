@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "graph/csr.hpp"
+#include "graph/streaming_builder.hpp"
 
 namespace graffix {
 
@@ -36,6 +37,20 @@ struct SuiteEntry {
 /// node count ~= 2^scale (the road grid rounds to a rectangle).
 [[nodiscard]] Csr make_preset(GraphPreset preset, std::uint32_t scale,
                               std::uint64_t seed = 42);
+
+/// Byte-identical to make_preset via the streaming build: the raw graph
+/// never exists as a triple list (peak transient memory is one chunk +
+/// the final arrays; the id permutation still rebuilds at ~2x). This is
+/// the entry point for paper-scale instantiation (DESIGN.md §9).
+[[nodiscard]] Csr make_preset_streaming(
+    GraphPreset preset, std::uint32_t scale, std::uint64_t seed = 42,
+    std::size_t chunk_edges = kDefaultStreamChunk);
+
+/// Streams the preset's RAW generator edge list (before the id
+/// permutation make_preset applies) in spans of `chunk_edges`
+/// (0 = one whole-stream span); replayable.
+void emit_preset(GraphPreset preset, std::uint32_t scale, std::uint64_t seed,
+                 std::size_t chunk_edges, const EdgeSink& sink);
 
 /// The full Table 1 suite in paper row order.
 [[nodiscard]] std::vector<SuiteEntry> make_suite(std::uint32_t scale,

@@ -14,9 +14,10 @@ void GraphBuilder::add_edge(NodeId src, NodeId dst, Weight w) {
 }
 
 void GraphBuilder::add_edges(std::vector<EdgeTriple>&& edges) {
-  if (edges_.empty()) {
+  if (edges_.empty() && edges_.capacity() <= edges.capacity()) {
     edges_ = std::move(edges);
   } else {
+    edges_.reserve(edges_.size() + edges.size());
     edges_.insert(edges_.end(), edges.begin(), edges.end());
   }
 }

@@ -2,6 +2,8 @@
 // then build() a sorted, optionally deduplicated Csr.
 #pragma once
 
+#include <functional>
+#include <span>
 #include <vector>
 
 #include "graph/csr.hpp"
@@ -16,6 +18,12 @@ struct EdgeTriple {
   Weight weight;
 };
 
+/// Chunk consumer for the streaming generator APIs (gen/*::emit_*):
+/// receives consecutive spans of the edge stream. Concatenating every
+/// span a sink sees reproduces the materializing generators' edge list
+/// bit for bit, for any chunk size.
+using EdgeSink = std::function<void(std::span<const EdgeTriple>)>;
+
 class GraphBuilder {
  public:
   enum class Dedup {
@@ -26,11 +34,20 @@ class GraphBuilder {
 
   explicit GraphBuilder(NodeId num_nodes) : num_nodes_(num_nodes) {}
 
-  void reserve(std::size_t edges) { edges_.reserve(edges); }
+  /// Pre-sizes the edge store. Generators and readers that know (or can
+  /// bound) their edge count call this up front so add_edge/add_edges
+  /// never copy-grows: one allocation instead of log2(m) doublings, and
+  /// no 2x transient during the final growth step.
+  void reserve_edges(std::size_t edges) { edges_.reserve(edges); }
+
+  /// Deprecated spelling of reserve_edges(), kept for callers.
+  void reserve(std::size_t edges) { reserve_edges(edges); }
 
   void add_edge(NodeId src, NodeId dst, Weight w = Weight{1});
 
-  /// Bulk-append a pre-generated edge list (from the generators).
+  /// Bulk-append a pre-generated edge list (from the generators). Adopts
+  /// the vector outright when the builder is empty; otherwise reserves
+  /// the combined size before inserting.
   void add_edges(std::vector<EdgeTriple>&& edges);
 
   void set_weighted(bool weighted) { weighted_ = weighted; }

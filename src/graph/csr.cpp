@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "graph/rebuild.hpp"
+#include "util/arena.hpp"
 #include "util/parallel.hpp"
 #include "util/prefix_sum.hpp"
 
@@ -45,8 +46,25 @@ Csr::Csr(std::vector<EdgeId> offsets, std::vector<NodeId> targets,
 }
 
 std::size_t Csr::memory_bytes() const {
-  return offsets_.size() * sizeof(EdgeId) + targets_.size() * sizeof(NodeId) +
-         weights_.size() * sizeof(Weight) + holes_.size();
+  // capacity(), not size(): the vectors own capacity() elements of heap
+  // whether or not they are in use, and the bench memory gates compare
+  // this number against RSS — undercounting slack would make the 2x
+  // peak-memory ceiling look tighter than it is.
+  return offsets_.capacity() * sizeof(EdgeId) +
+         targets_.capacity() * sizeof(NodeId) +
+         weights_.capacity() * sizeof(Weight) +
+         holes_.capacity() * sizeof(std::uint8_t);
+}
+
+Csr::OwnedParts Csr::take_parts() && {
+  OwnedParts parts{std::move(offsets_), std::move(targets_),
+                   std::move(weights_), std::move(holes_)};
+  offsets_.assign(1, 0);  // restore the empty-graph invariant
+  targets_.clear();
+  weights_.clear();
+  holes_.clear();
+  num_nodes_ = 0;
+  return parts;
 }
 
 Csr Csr::transpose() const {
@@ -67,7 +85,8 @@ Csr Csr::transpose() const {
     std::partial_sum(counts.begin(), counts.end(), counts.begin());
     std::vector<NodeId> rtargets(m);
     std::vector<Weight> rweights(weights_.empty() ? 0 : m);
-    std::vector<EdgeId> cursor(counts.begin(), counts.end() - 1);
+    ArenaBuffer<EdgeId> cursor(slots);
+    std::copy(counts.begin(), counts.end() - 1, cursor.begin());
     for (NodeId u = 0; u < slots; ++u) {
       const EdgeId lo = offsets_[u];
       const EdgeId hi = offsets_[u + 1];
@@ -96,7 +115,9 @@ Csr Csr::transpose() const {
         std::min(lo + chunk, static_cast<std::size_t>(slots)));
     return std::pair<NodeId, NodeId>{lo, hi};
   };
-  std::vector<EdgeId> block_counts(T * slots, 0);
+  // Arena-pooled: this T*slots histogram is the transpose's dominant
+  // scratch and is re-acquired on every call in the transform pipeline.
+  ArenaBuffer<EdgeId> block_counts(T * slots, EdgeId{0});
   std::vector<EdgeId> offsets(static_cast<std::size_t>(slots) + 1, 0);
   std::vector<NodeId> rtargets(m);
   std::vector<Weight> rweights(weights_.empty() ? 0 : m);

@@ -73,9 +73,24 @@ class Csr {
   [[nodiscard]] std::span<const Weight> weights() const { return weights_; }
   [[nodiscard]] std::span<const std::uint8_t> holes() const { return holes_; }
 
-  /// Approximate resident bytes (offsets + targets + weights + hole mask);
-  /// used for the Table 5 "additional space" column.
+  /// Heap bytes owned by this graph: the allocated capacity of every
+  /// owned array (offsets + targets + weights + hole mask). Used for the
+  /// Table 5 "additional space" column and as the denominator of the
+  /// bench peak-RSS gates (DESIGN.md §9).
   [[nodiscard]] std::size_t memory_bytes() const;
+
+  /// Destructive disassembly for memory-lean rebuilds (the Csr&&
+  /// overload of rebuild_with_extras): moves out the owned arrays so the
+  /// caller can free them one at a time mid-rebuild instead of holding
+  /// the whole base graph until the new one is complete. The graph is
+  /// left valid but empty.
+  struct OwnedParts {
+    std::vector<EdgeId> offsets;
+    std::vector<NodeId> targets;
+    std::vector<Weight> weights;
+    std::vector<std::uint8_t> holes;
+  };
+  [[nodiscard]] OwnedParts take_parts() &&;
 
   /// Returns the transpose (reverse) graph. Holes are preserved as slots
   /// with zero out-degree and the same hole mask.

@@ -33,6 +33,16 @@ struct ExtraArc {
 [[nodiscard]] Csr rebuild_with_extras(
     const Csr& base, std::span<const std::vector<ExtraArc>> extra);
 
+/// Memory-lean overload: consumes `base` and frees its arrays in a
+/// staggered order — the base targets are released before the new
+/// weights array is allocated — so the rebuild peak is roughly
+/// max(base, new) + the larger of the two edge arrays instead of
+/// base + new. Byte-identical output to the const overload
+/// (differential-tested); this is what keeps the paper-scale
+/// transform benches under the 2x peak-RSS gate (DESIGN.md §9).
+[[nodiscard]] Csr rebuild_with_extras(
+    Csr&& base, std::span<const std::vector<ExtraArc>> extra);
+
 /// Builds a Csr directly from per-slot arc lists (for transforms that
 /// rewrite adjacency wholesale). `holes` must be empty or match
 /// adj.size(); `weighted` selects whether arc weights are materialized.

@@ -1,0 +1,109 @@
+// Streaming CSR construction: build a Csr from a chunked edge stream
+// without ever materializing the whole-graph triple list.
+//
+// The materializing path (GraphBuilder) holds every EdgeTriple (16 B per
+// edge) alongside the arrays it is building — roughly 3x the final graph
+// footprint in transient memory, which is what caps the repo at
+// scale ~16 while the paper runs scale-26-class inputs. The streaming
+// path replays the edge stream twice through the deterministic
+// count–scan–scatter discipline (DESIGN.md §7/§9):
+//
+//   pass 1  count()    per-source degree histogram (self-loops filtered)
+//           finish_counts()  exclusive scan -> offsets, allocate arrays
+//   pass 2  scatter()  cursor-walk each chunk into its final edge range
+//           finish()   parallel per-row sort (+ dedup compaction) -> Csr
+//
+// Peak transient memory is the final arrays plus one chunk buffer plus
+// an n-entry cursor (drawn from the ScratchArena) — about 1x the final
+// graph instead of 3x.
+//
+// Determinism contract: the result is BYTE-IDENTICAL to
+// GraphBuilder::build() fed the concatenated stream, for any chunk size
+// and any thread count. The scatter is a serial cursor walk over the
+// stream (placement independent of chunking), and the per-row sort uses
+// the same (dst, weight) order the materializing path's global
+// (src, dst, weight) sort induces within a row; elements that compare
+// equal are bitwise-identical triples, so unstable sorting cannot
+// diverge. tests/streaming_build_test.cpp pins this differentially over
+// every Table-1 generator at 1/2/8 threads and chunk sizes
+// {1, 4096, whole-graph}.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "graph/csr.hpp"
+#include "util/arena.hpp"
+#include "util/types.hpp"
+
+namespace graffix {
+
+/// Default chunk size for the generators' streaming conveniences:
+/// 2^20 edges = 16 MiB of staged triples, large enough to amortize the
+/// per-chunk sink dispatch, small next to any paper-scale graph.
+inline constexpr std::size_t kDefaultStreamChunk = std::size_t{1} << 20;
+
+/// Construction options mirroring the GraphBuilder knobs the generators
+/// use; semantics (and output bytes) match GraphBuilder exactly.
+struct StreamingCsrOptions {
+  bool weighted = false;
+  bool drop_self_loops = false;
+  GraphBuilder::Dedup dedup = GraphBuilder::Dedup::None;
+};
+
+class StreamingCsrBuilder {
+ public:
+  explicit StreamingCsrBuilder(NodeId num_nodes,
+                               const StreamingCsrOptions& options = {});
+
+  /// Pass 1: accumulate per-source degrees for one chunk of the stream.
+  void count(std::span<const EdgeTriple> chunk);
+
+  /// Ends pass 1: scans counts into offsets and allocates the edge
+  /// arrays. After this, the SAME stream must be replayed via scatter().
+  void finish_counts();
+
+  /// Pass 2: place one chunk of the (replayed) stream into its final
+  /// edge ranges. Chunks must arrive in the same order and with the
+  /// same contents as pass 1 (any chunk *boundaries* are fine).
+  void scatter(std::span<const EdgeTriple> chunk);
+
+  /// Sorts each row, applies dedup, and returns the Csr. The builder is
+  /// consumed.
+  [[nodiscard]] Csr finish();
+
+  [[nodiscard]] NodeId node_count() const { return num_nodes_; }
+  /// Edges accepted so far by the current pass (post self-loop filter).
+  [[nodiscard]] EdgeId edge_count() const {
+    return stage_ == Stage::Counting ? counted_ : scattered_;
+  }
+
+ private:
+  enum class Stage { Counting, Scattering, Finished };
+
+  NodeId num_nodes_;
+  StreamingCsrOptions options_;
+  Stage stage_ = Stage::Counting;
+  EdgeId counted_ = 0;
+  EdgeId scattered_ = 0;
+  std::vector<EdgeId> offsets_;    // counts during pass 1, offsets after
+  ArenaBuffer<EdgeId> cursor_;     // per-source write position, pass 2
+  std::vector<NodeId> targets_;
+  std::vector<Weight> weights_;
+};
+
+/// A replayable edge stream: invoked with a sink, emits the stream as
+/// consecutive chunks. build_streaming_csr calls it twice (count pass,
+/// scatter pass); both invocations must produce the identical stream —
+/// the generators' emit_* APIs guarantee this by re-deriving every
+/// per-block RNG from the seed.
+using EdgeEmitter = std::function<void(const EdgeSink&)>;
+
+/// Drives the two-pass build end to end.
+[[nodiscard]] Csr build_streaming_csr(NodeId num_nodes,
+                                      const StreamingCsrOptions& options,
+                                      const EdgeEmitter& emit);
+
+}  // namespace graffix

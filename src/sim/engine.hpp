@@ -72,6 +72,7 @@
 #include "sim/config.hpp"
 #include "sim/stats.hpp"
 #include "sim/work.hpp"
+#include "util/arena.hpp"
 #include "util/macros.hpp"
 #include "util/parallel.hpp"
 
@@ -160,14 +161,17 @@ struct SweepOptions {
 /// must be per-worker, never engine members (two blocks replaying
 /// concurrently would otherwise corrupt each other's conflict scans).
 struct SweepScratch {
-  std::vector<std::uint64_t> lane_edge_seg;
-  std::vector<NodeId> lane_res;  // per-lane source residency cluster
-  std::vector<NodeId> lane_dst;  // per-lane destination this warp step
-  std::vector<std::uint8_t> lane_active;
-  std::vector<NodeId> bank_word;
-  std::vector<std::uint64_t> bank_epoch;
-  std::vector<std::uint64_t> seg_key;
-  std::vector<std::uint64_t> seg_epoch;
+  // Arena-pooled (ArenaVector): each sweep chunk tears these down with
+  // its Engine; pooling hands the blocks to the next Engine instead of
+  // round-tripping through the kernel allocator (DESIGN.md §9).
+  ArenaVector<std::uint64_t> lane_edge_seg;
+  ArenaVector<NodeId> lane_res;  // per-lane source residency cluster
+  ArenaVector<NodeId> lane_dst;  // per-lane destination this warp step
+  ArenaVector<std::uint8_t> lane_active;
+  ArenaVector<NodeId> bank_word;
+  ArenaVector<std::uint64_t> bank_epoch;
+  ArenaVector<std::uint64_t> seg_key;
+  ArenaVector<std::uint64_t> seg_epoch;
   std::uint64_t epoch = 0;
   std::uint32_t seg_mask = 0;
 
@@ -705,16 +709,17 @@ class Engine {
   std::vector<KernelStats> chunk_stats_;
   std::vector<SweepScratch> scratch_;
   // Grouped-replay scratch; persistent across sweeps to amortize
-  // allocation (resize keeps capacity in steady state).
-  std::vector<ReplayRec> rec_;            // candidates, block-major = lex
-  std::vector<std::uint8_t> rec_commit_;  // fn's verdict per record
-  std::vector<std::uint32_t> rec_order_;  // record ids grouped by target
-  std::vector<std::uint64_t> cnt_;        // per-(chunk, target) cursors
-  std::vector<std::uint64_t> tgt_off_;    // per-target group begin
-  std::vector<std::uint64_t> range_total_;
-  std::vector<std::size_t> absorb_split_;
-  std::vector<std::size_t> blk_rec_base_;
-  std::vector<std::size_t> chunk_rec_begin_;
+  // allocation (resize keeps capacity in steady state) and arena-pooled
+  // so successive Engine instances inherit each other's blocks.
+  ArenaVector<ReplayRec> rec_;            // candidates, block-major = lex
+  ArenaVector<std::uint8_t> rec_commit_;  // fn's verdict per record
+  ArenaVector<std::uint32_t> rec_order_;  // record ids grouped by target
+  ArenaVector<std::uint64_t> cnt_;        // per-(chunk, target) cursors
+  ArenaVector<std::uint64_t> tgt_off_;    // per-target group begin
+  ArenaVector<std::uint64_t> range_total_;
+  ArenaVector<std::size_t> absorb_split_;
+  ArenaVector<std::size_t> blk_rec_base_;
+  ArenaVector<std::size_t> chunk_rec_begin_;
   std::vector<KernelStats> replay_stats_;
   std::uint64_t grouped_replays_ = 0;
   std::size_t chunks_override_ = 0;  // testing only; 0 = automatic

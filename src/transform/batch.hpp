@@ -36,6 +36,7 @@
 #include <span>
 #include <vector>
 
+#include "util/arena.hpp"
 #include "util/parallel.hpp"
 #include "util/types.hpp"
 
@@ -98,7 +99,9 @@ class RowClaims {
   }
 
  private:
-  std::vector<std::uint32_t> stamp_;
+  // Arena-pooled: one stamp array per transform phase, reacquired for
+  // every phase of every transform in a pipeline run.
+  ArenaVector<std::uint32_t> stamp_;
   std::uint32_t epoch_ = 0;  // 0 is never a live epoch
 };
 
@@ -146,12 +149,16 @@ BatchTelemetry run_budgeted_rounds(std::size_t n_candidates, RowClaims& claims,
                                    ApplyFn&& apply, SerialStepFn&& serial_step) {
   BatchTelemetry telemetry;
   const std::uint64_t entry_arcs = arcs_used;
-  std::vector<std::uint32_t> pending(n_candidates);
+  // Round scratch is arena-pooled: the same five lists are torn down and
+  // rebuilt for every phase of every transform, so steady-state pipeline
+  // runs reuse the pooled blocks instead of re-touching the kernel
+  // allocator (DESIGN.md §9).
+  ArenaVector<std::uint32_t> pending(n_candidates);
   std::iota(pending.begin(), pending.end(), 0u);
   // Arcs actually inserted per candidate position; prefix sums over it
   // reconstruct the exact serial counter for the budget-tail path.
-  std::vector<std::uint64_t> actual(n_candidates, 0);
-  std::vector<std::uint32_t> batch, kept;
+  ArenaVector<std::uint64_t> actual(n_candidates, 0);
+  ArenaVector<std::uint32_t> batch, kept;
   std::vector<NodeId> rows;
   while (!pending.empty()) {
     claims.clear();

@@ -40,10 +40,12 @@ double degree_uniformity(const std::vector<NodeId>& order,
                                  static_cast<double>(issued_total);
 }
 
-}  // namespace
-
-DivergenceResult divergence_transform(const Csr& graph,
-                                      const DivergenceKnobs& knobs) {
+/// Shared implementation. When `owned` is non-null it aliases `graph`
+/// and the rebuild may consume it (staggered frees; see rebuild.hpp) —
+/// `graph` must not be read after the rebuild in that case.
+DivergenceResult divergence_transform_impl(const Csr& graph,
+                                           const DivergenceKnobs& knobs,
+                                           Csr* owned) {
   // Hole-aware: holes ride along as zero-degree slots (they are never
   // boosted and bucket to the tail / stay in place under preserve_order).
   const NodeId n = graph.num_slots();
@@ -154,9 +156,16 @@ DivergenceResult divergence_transform(const Csr& graph,
     extra[u] = std::move(cand);
   }
   result.edges_added = added_total;
+  // At paper scale the n outer headers alone are tens of MiB; drop the
+  // (now hollowed-out) candidate table before the rebuild allocates the
+  // new edge arrays so the two never coexist at peak (DESIGN.md §9).
+  std::vector<std::vector<ExtraArc>>().swap(candidates);
 
-  // Rebuild the Csr with extra arcs appended per node.
-  result.graph = rebuild_with_extras(graph, extra);
+  // Rebuild the Csr with extra arcs appended per node. `graph` is dead
+  // after this line when the caller handed us ownership.
+  const double before = static_cast<double>(graph.memory_bytes());
+  result.graph = owned != nullptr ? rebuild_with_extras(std::move(*owned), extra)
+                                  : rebuild_with_extras(graph, extra);
 
   std::vector<NodeId> new_degree(n);
   parallel_for(NodeId{0}, n,
@@ -164,11 +173,22 @@ DivergenceResult divergence_transform(const Csr& graph,
   result.degree_uniformity_after =
       degree_uniformity(result.warp_order, new_degree, ws);
 
-  const double before = static_cast<double>(graph.memory_bytes());
   const double after = static_cast<double>(result.graph.memory_bytes());
   result.extra_space_fraction = before == 0.0 ? 0.0 : (after - before) / before;
   check_transform_phase("divergence", result.graph);
   return result;
+}
+
+}  // namespace
+
+DivergenceResult divergence_transform(const Csr& graph,
+                                      const DivergenceKnobs& knobs) {
+  return divergence_transform_impl(graph, knobs, nullptr);
+}
+
+DivergenceResult divergence_transform(Csr&& graph,
+                                      const DivergenceKnobs& knobs) {
+  return divergence_transform_impl(graph, knobs, &graph);
 }
 
 }  // namespace graffix::transform

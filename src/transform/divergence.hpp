@@ -37,4 +37,10 @@ struct DivergenceResult {
 [[nodiscard]] DivergenceResult divergence_transform(const Csr& graph,
                                                     const DivergenceKnobs& knobs);
 
+/// Memory-lean overload for paper-scale graphs: consumes `graph` so the
+/// final rebuild can free the base arrays mid-flight (the Csr&&
+/// rebuild_with_extras path). Identical result to the const overload.
+[[nodiscard]] DivergenceResult divergence_transform(Csr&& graph,
+                                                    const DivergenceKnobs& knobs);
+
 }  // namespace graffix::transform

@@ -131,6 +131,17 @@ TEST(Rebuild, WithEmptyExtrasReproducesBase) {
   expect_same_csr(base, out, "empty extras");
 }
 
+TEST(Rebuild, ConsumingOverloadMatchesConstOverload) {
+  const Csr base = make_preset(GraphPreset::Rmat26, 8, 3);
+  std::vector<std::vector<ExtraArc>> extra(base.num_slots());
+  extra[1] = {{2, 9.0f}, {0, 1.0f}};
+  extra[base.num_slots() - 1] = {{0, 2.5f}};
+  const Csr ref = rebuild_with_extras(base, extra);
+  Csr owned = base;
+  const Csr got = rebuild_with_extras(std::move(owned), extra);
+  expect_same_csr(ref, got, "consuming rebuild");
+}
+
 TEST(Rebuild, FromAdjacencyCarriesHolesAndWeights) {
   std::vector<std::vector<ExtraArc>> adj(3);
   adj[0] = {{1, 1.5f}, {2, 2.5f}};

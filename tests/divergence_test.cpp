@@ -7,6 +7,8 @@
 #include <algorithm>
 #include <numeric>
 #include <set>
+#include <utility>
+#include <vector>
 
 #include "gen/erdos_renyi.hpp"
 #include "gen/rmat.hpp"
@@ -33,6 +35,27 @@ DivergenceKnobs knobs(double threshold = 0.3) {
 TEST(Divergence, OutputIsValid) {
   const auto result = divergence_transform(small_rmat(), knobs());
   EXPECT_TRUE(validate_graph(result.graph).ok);
+}
+
+TEST(Divergence, ConsumingOverloadMatchesConstOverload) {
+  Csr g = small_rmat();
+  const auto ref = divergence_transform(g, knobs());
+  const auto got = divergence_transform(std::move(g), knobs());
+  EXPECT_EQ(got.edges_added, ref.edges_added);
+  EXPECT_EQ(got.warp_order, ref.warp_order);
+  EXPECT_EQ(std::vector<EdgeId>(ref.graph.offsets().begin(),
+                                ref.graph.offsets().end()),
+            std::vector<EdgeId>(got.graph.offsets().begin(),
+                                got.graph.offsets().end()));
+  EXPECT_EQ(std::vector<NodeId>(ref.graph.targets().begin(),
+                                ref.graph.targets().end()),
+            std::vector<NodeId>(got.graph.targets().begin(),
+                                got.graph.targets().end()));
+  EXPECT_EQ(std::vector<Weight>(ref.graph.weights().begin(),
+                                ref.graph.weights().end()),
+            std::vector<Weight>(got.graph.weights().begin(),
+                                got.graph.weights().end()));
+  EXPECT_DOUBLE_EQ(got.extra_space_fraction, ref.extra_space_fraction);
 }
 
 TEST(Divergence, WarpOrderIsPermutation) {

@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "gen/erdos_renyi.hpp"
 #include "gen/permute.hpp"
@@ -198,6 +199,21 @@ TEST(Permute, DeterministicAndSeedSensitive) {
             std::vector<NodeId>(b.targets().begin(), b.targets().end()));
   EXPECT_NE(std::vector<NodeId>(a.targets().begin(), a.targets().end()),
             std::vector<NodeId>(c.targets().begin(), c.targets().end()));
+}
+
+TEST(Permute, ConsumingOverloadIsByteIdentical) {
+  RmatParams p;
+  p.scale = 9;
+  Csr g = generate_rmat(p);
+  const Csr ref = permute_vertices(g, 5);
+  const Csr got = permute_vertices(std::move(g), 5);
+  EXPECT_EQ(std::vector<EdgeId>(ref.offsets().begin(), ref.offsets().end()),
+            std::vector<EdgeId>(got.offsets().begin(), got.offsets().end()));
+  EXPECT_EQ(std::vector<NodeId>(ref.targets().begin(), ref.targets().end()),
+            std::vector<NodeId>(got.targets().begin(), got.targets().end()));
+  ASSERT_EQ(ref.has_weights(), got.has_weights());
+  EXPECT_EQ(std::vector<Weight>(ref.weights().begin(), ref.weights().end()),
+            std::vector<Weight>(got.weights().begin(), got.weights().end()));
 }
 
 TEST(Permute, WeightsFollowEdges) {

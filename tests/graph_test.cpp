@@ -3,11 +3,14 @@
 // structural properties, and validation.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <limits>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "graph/builder.hpp"
 #include "graph/csr.hpp"
@@ -145,6 +148,36 @@ TEST(Csr, MemoryBytesGrowsWithEdges) {
   Csr big = figure1_graph();
   EXPECT_GT(big.memory_bytes(), 0u);
   EXPECT_GT(big.memory_bytes(), small.memory_bytes() / 2);
+}
+
+TEST(Csr, MemoryBytesAccountsForEveryOwnedArray) {
+  // Audit: offsets + targets + weights + holes must all be counted, at
+  // allocated capacity — this number is the denominator of the bench
+  // peak-RSS gate, so undercounting would loosen the gate.
+  const Csr plain({0, 2, 3, 3}, {1, 2, 0}, {}, {});
+  const std::size_t floor_plain = 4 * sizeof(EdgeId) + 3 * sizeof(NodeId);
+  EXPECT_GE(plain.memory_bytes(), floor_plain);
+
+  const Csr weighted({0, 2, 3, 3}, {1, 2, 0}, {1.0f, 2.0f, 3.0f}, {});
+  EXPECT_GE(weighted.memory_bytes(),
+            plain.memory_bytes() + 3 * sizeof(Weight));
+
+  const Csr holed({0, 2, 3, 3}, {1, 2, 0}, {1.0f, 2.0f, 3.0f}, {0, 0, 1});
+  EXPECT_GE(holed.memory_bytes(), weighted.memory_bytes() + 3);
+}
+
+TEST(Csr, TakePartsDisassemblesAndLeavesValidEmptyGraph) {
+  Csr g({0, 2, 3, 3}, {1, 2, 0}, {1.0f, 2.0f, 3.0f}, {0, 0, 1});
+  auto parts = std::move(g).take_parts();
+  EXPECT_EQ(parts.offsets, (std::vector<EdgeId>{0, 2, 3, 3}));
+  EXPECT_EQ(parts.targets, (std::vector<NodeId>{1, 2, 0}));
+  EXPECT_EQ(parts.weights, (std::vector<Weight>{1.0f, 2.0f, 3.0f}));
+  EXPECT_EQ(parts.holes, (std::vector<std::uint8_t>{0, 0, 1}));
+  // The husk is a usable empty graph, not a booby trap.
+  EXPECT_EQ(g.num_slots(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_FALSE(g.has_weights());
+  EXPECT_TRUE(validate_graph(g).ok);
 }
 
 TEST(Validate, DetectsHoleWithEdges) {

@@ -5,9 +5,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdint>
 #include <numeric>
+#include <utility>
 #include <vector>
 
+#include "util/arena.hpp"
 #include "util/bitset.hpp"
 #include "util/parallel.hpp"
 #include "util/prefix_sum.hpp"
@@ -219,6 +222,103 @@ TEST(ScopedAccumulator, AddsOnDestruction) {
     ScopedAccumulator acc(total);
   }
   EXPECT_GE(total, 0.0);
+}
+
+TEST(Arena, AcquireIsAlignedAndRoundsToSizeClass) {
+  ScratchArena arena;
+  void* p = arena.acquire(100);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 64, 0u);
+  // 100 bytes shares the minimum 256-byte class.
+  EXPECT_EQ(arena.outstanding_bytes(), 256u);
+  arena.release(p, 100);
+  EXPECT_EQ(arena.outstanding_bytes(), 0u);
+}
+
+TEST(Arena, ZeroBytesIsNullAndNullReleaseIsNoop) {
+  ScratchArena arena;
+  EXPECT_EQ(arena.acquire(0), nullptr);
+  arena.release(nullptr, 0);
+  EXPECT_EQ(arena.outstanding_bytes(), 0u);
+  EXPECT_EQ(arena.alloc_count(), 0u);
+}
+
+TEST(Arena, ReleaseParksBlockAndNextAcquireReusesIt) {
+  ScratchArena arena;
+  void* p = arena.acquire(1000);
+  const std::size_t cls = arena.outstanding_bytes();  // 1024
+  arena.release(p, 1000);
+  EXPECT_EQ(arena.outstanding_bytes(), 0u);
+  EXPECT_EQ(arena.pooled_bytes(), cls);
+  void* q = arena.acquire(1000);
+  EXPECT_EQ(q, p);  // served from the free list, not the system
+  EXPECT_EQ(arena.reuse_count(), 1u);
+  EXPECT_EQ(arena.alloc_count(), 1u);
+  EXPECT_EQ(arena.pooled_bytes(), 0u);
+  arena.release(q, 1000);
+}
+
+TEST(Arena, PeakTracksHighWaterAndResetRestartsFromOutstanding) {
+  ScratchArena arena;
+  void* a = arena.acquire(1 << 10);
+  void* b = arena.acquire(1 << 12);
+  const std::size_t high = arena.outstanding_bytes();
+  arena.release(b, 1 << 12);
+  EXPECT_EQ(arena.peak_bytes(), high);
+  arena.reset_peak();
+  EXPECT_EQ(arena.peak_bytes(), arena.outstanding_bytes());
+  arena.release(a, 1 << 10);
+}
+
+TEST(Arena, TrimFreesPooledBlocksOnly) {
+  ScratchArena arena;
+  void* keep = arena.acquire(1 << 16);
+  void* park = arena.acquire(1 << 16);
+  arena.release(park, 1 << 16);
+  EXPECT_GT(arena.pooled_bytes(), 0u);
+  const std::size_t outstanding = arena.outstanding_bytes();
+  arena.trim();
+  EXPECT_EQ(arena.pooled_bytes(), 0u);
+  EXPECT_EQ(arena.outstanding_bytes(), outstanding);
+  arena.release(keep, 1 << 16);
+}
+
+TEST(ArenaBuffer, FillMoveAndRelease) {
+  const std::size_t before = arena_outstanding_bytes();
+  {
+    ArenaBuffer<int> buf(16, 7);
+    for (int v : buf) EXPECT_EQ(v, 7);
+    EXPECT_GT(arena_outstanding_bytes(), before);
+    ArenaBuffer<int> other(std::move(buf));
+    EXPECT_EQ(buf.size(), 0u);
+    EXPECT_EQ(other.size(), 16u);
+    EXPECT_EQ(other[15], 7);
+  }
+  // Destruction returned the block to the global pool.
+  EXPECT_EQ(arena_outstanding_bytes(), before);
+}
+
+TEST(ArenaVector, WorksAsVectorAndRecyclesBacking) {
+  {
+    ArenaVector<int> v;
+    v.assign(1000, 3);
+    v.push_back(4);
+    long long sum = 0;
+    for (int x : v) sum += x;
+    EXPECT_EQ(sum, 3004);
+  }
+  // The freed backing store is parked for the next ArenaVector.
+  const std::uint64_t reuses_before = ScratchArena::global().reuse_count();
+  {
+    ArenaVector<int> v;
+    v.assign(1000, 1);
+  }
+  EXPECT_GT(ScratchArena::global().reuse_count(), reuses_before);
+}
+
+TEST(ArenaTelemetry, RssCountersReportNonZero) {
+  EXPECT_GT(peak_rss_bytes(), 0u);
+  EXPECT_GT(current_rss_bytes(), 0u);
 }
 
 }  // namespace
