@@ -39,6 +39,7 @@
 #include "harness.hpp"
 #include "metrics/table.hpp"
 #include "sim/engine.hpp"
+#include "util/bitset.hpp"
 #include "util/parallel.hpp"
 
 namespace {
@@ -68,6 +69,16 @@ struct Cell {
   std::string name;
   std::function<CellRun()> run;
 };
+
+/// Order-sensitive digest of a frontier/changed list, representable
+/// exactly as a double (52 low bits of an FNV-1a fold): two lists agree
+/// on the digest only if they hold the same vertices in the same order,
+/// which is exactly what the side-channel merge promises.
+double order_digest(const std::vector<NodeId>& list) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const NodeId v : list) h = (h ^ v) * 1099511628211ull;
+  return static_cast<double>(h & ((std::uint64_t{1} << 52) - 1));
+}
 
 NodeId max_degree_node(const Csr& graph) {
   NodeId best = 0, best_degree = 0;
@@ -159,6 +170,139 @@ bool run_scale(const graffix::bench::BenchOptions& options, std::uint32_t scale,
     r.attr = std::move(dist);
     return r;
   }});
+
+  // SSSP relax exactly as run_sssp certifies it ({Min, Dst} plus the
+  // stall-detection side channel: improvement sums, the discovery flag,
+  // and the changed list routed through a SideChannel). The per-rep
+  // side-channel outputs — the very values the stall decision reads —
+  // are folded into attr, so the bit-identity gate covers the stall and
+  // frontier decisions, not just the distances. The *_serial twin runs
+  // the same functor uncertified (side channel in direct mode): the
+  // fallback ablation.
+  auto sssp_relax_cell = [&](const char* name, bool certified) {
+    cells.push_back({name, [&, certified] {
+      CellRun r;
+      graffix::sim::Engine engine(graph, graffix::sim::SimConfig{});
+      const auto items = graffix::sim::items_all_vertices(graph);
+      graffix::sim::SweepOptions opts;
+      opts.weighted = graph.has_weights();
+      graffix::sim::SideChannel side(/*n_sums=*/2);
+      std::vector<NodeId> changed;
+      side.bind_appends(&changed);
+      if (certified) {
+        opts.functor = {graffix::sim::MergeKind::Min,
+                        graffix::sim::MergeTarget::Dst};
+        opts.side = &side;
+      }
+      graffix::AtomicBitset changed_mask(graph.num_slots());
+      std::vector<double> dist(graph.num_slots(),
+                               std::numeric_limits<double>::infinity());
+      dist[source] = 0.0;
+      std::vector<double> next(dist);
+      const double eps = 1e-9;
+      std::vector<double> decisions;
+      const double t0 = now_seconds();
+      for (int rep = 0; rep < engine_reps; ++rep) {
+        side.reset();
+        changed.clear();
+        changed_mask.clear();
+        engine.sweep_gated(
+            items, opts, [&](NodeId u) { return std::isfinite(dist[u]); },
+            [&](NodeId u, NodeId v, Weight w) {
+              const double nd = dist[u] + static_cast<double>(w);
+              if (nd < next[v] - eps * (1.0 + std::abs(nd))) {
+                if (std::isfinite(next[v])) {
+                  side.add(0, next[v] - nd);
+                } else {
+                  side.raise(0);
+                }
+                side.add(1, 1.0 + std::abs(nd));
+                next[v] = nd;
+                if (changed_mask.set(v)) side.append(v);
+                return true;
+              }
+              return false;
+            },
+            r.stats);
+        dist = next;
+        decisions.push_back(side.sum(0));
+        decisions.push_back(side.sum(1));
+        decisions.push_back(side.flag(0) ? 1.0 : 0.0);
+        decisions.push_back(static_cast<double>(changed.size()));
+        decisions.push_back(order_digest(changed));
+      }
+      r.wall = now_seconds() - t0;
+      r.attr = std::move(dist);
+      r.attr.insert(r.attr.end(), decisions.begin(), decisions.end());
+      return r;
+    }});
+  };
+  sssp_relax_cell("sssp_relax", true);
+  sssp_relax_cell("sssp_relax_serial", false);
+
+  // BC forward exactly as run_bc certifies it ({Sum, Dst} sigma merge
+  // plus frontier discovery through the side channel): one full
+  // level-synchronous forward pass per rep, every wave's frontier size
+  // and order digest folded into attr alongside sigma and the levels.
+  auto bc_forward_cell = [&](const char* name, bool certified) {
+    cells.push_back({name, [&, certified] {
+      CellRun r;
+      graffix::sim::Engine engine(graph, graffix::sim::SimConfig{});
+      const auto items = graffix::sim::items_all_vertices(graph);
+      graffix::sim::SweepOptions opts;
+      graffix::sim::SideChannel side;
+      if (certified) {
+        opts.functor = {graffix::sim::MergeKind::Sum,
+                        graffix::sim::MergeTarget::Dst};
+        opts.side = &side;
+      }
+      const NodeId n_slots = graph.num_slots();
+      std::vector<NodeId> level(n_slots);
+      std::vector<double> sigma(n_slots);
+      std::vector<double> waves;
+      const int reps = std::max(1, engine_reps / 4);
+      const double t0 = now_seconds();
+      for (int rep = 0; rep < reps; ++rep) {
+        std::fill(level.begin(), level.end(), graffix::kInvalidNode);
+        std::fill(sigma.begin(), sigma.end(), 0.0);
+        level[source] = 0;
+        sigma[source] = 1.0;
+        NodeId depth = 0;
+        while (true) {
+          std::vector<NodeId> next_frontier;
+          side.bind_appends(&next_frontier);
+          engine.sweep_gated(
+              items, opts, [&](NodeId u) { return level[u] == depth; },
+              [&](NodeId u, NodeId v, Weight) {
+                if (level[u] != depth) return false;
+                if (level[v] == graffix::kInvalidNode) {
+                  level[v] = depth + 1;
+                  side.append(v);
+                }
+                if (level[v] == depth + 1) {
+                  sigma[v] += sigma[u];
+                  return true;
+                }
+                return false;
+              },
+              r.stats);
+          waves.push_back(static_cast<double>(next_frontier.size()));
+          waves.push_back(order_digest(next_frontier));
+          if (next_frontier.empty()) break;
+          ++depth;
+        }
+      }
+      r.wall = now_seconds() - t0;
+      r.attr.assign(sigma.begin(), sigma.end());
+      for (NodeId s = 0; s < n_slots; ++s) {
+        r.attr.push_back(static_cast<double>(level[s]));
+      }
+      r.attr.insert(r.attr.end(), waves.begin(), waves.end());
+      return r;
+    }});
+  };
+  bc_forward_cell("bc_forward", true);
+  bc_forward_cell("bc_forward_serial", false);
 
   auto algo_cell = [&](const char* name, Algorithm alg,
                        graffix::baselines::BaselineId baseline) {
@@ -276,9 +420,11 @@ int main(int argc, char** argv) {
     // "procs" records the machine width this document was measured on:
     // CI's speedup floor only makes sense where 8 workers can actually
     // run, so the gate reads it to decide warn-only vs hard.
+    // schema 2: adds the sssp_relax/bc_forward certified cells and
+    // their *_serial fallback ablations to every scale's configs.
     std::fprintf(json,
-                 "{\"bench\":\"bench_micro_engine\",\"seed\":%llu,"
-                 "\"procs\":%d,\"scales\":[",
+                 "{\"bench\":\"bench_micro_engine\",\"schema\":2,"
+                 "\"seed\":%llu,\"procs\":%d,\"scales\":[",
                  static_cast<unsigned long long>(options.seed),
                  omp_get_num_procs());
   }

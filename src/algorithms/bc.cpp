@@ -92,10 +92,19 @@ std::vector<double> betweenness_centrality(const Csr& graph,
           }
         },
         1);
-    for (std::size_t blk = wave_lo; blk < wave_hi; ++blk) {
-      const auto& local_bc = block_bc[blk - wave_lo];
-      for (NodeId s = 0; s < slots; ++s) bc[s] += local_bc[s];
-    }
+    // Absorb the wave parallel across slots: each slot's chain folds the
+    // blocks in ascending block order — the same per-slot FP grouping
+    // the serial blk-outer/s-inner loop produced — and distinct slots
+    // never interact, so the absorb parallelizes without reassociating
+    // anything (the serial walk used to cost O(waves * blocks * slots)
+    // on one core).
+    parallel_for(NodeId{0}, slots, [&](NodeId s) {
+      double acc = bc[s];
+      for (std::size_t blk = wave_lo; blk < wave_hi; ++blk) {
+        acc += block_bc[blk - wave_lo][s];
+      }
+      bc[s] = acc;
+    });
   }
   return bc;
 }

@@ -1,5 +1,6 @@
 #include "algorithms/bfs.hpp"
 
+#include <algorithm>
 #include <atomic>
 
 #include "util/bitset.hpp"
@@ -20,18 +21,28 @@ std::vector<NodeId> parallel_bfs(const Csr& graph, NodeId source) {
   while (!frontier.empty()) {
     ++depth;
     next_mask.clear();
-    parallel_for_dynamic(std::size_t{0}, frontier.size(), [&](std::size_t i) {
-      const NodeId u = frontier[i];
-      for (NodeId v : graph.neighbors(u)) {
-        if (level[v] == kInvalidNode && next_mask.set(v)) {
-          level[v] = depth;
-        }
-      }
-    });
+    // Frontier generation via the segmented-append helper: each task
+    // collects the vertices it claims (the next_mask CAS arbitrates
+    // duplicates) into a private segment and the segments concatenate
+    // in task order. Which task wins a contended claim is scheduling-
+    // dependent, so the concatenation is canonicalized with one sort —
+    // restoring exactly the ascending order the old O(slots)-per-level
+    // mask rescan produced, without paying O(slots) on every level of
+    // a narrow frontier. Levels are deterministic either way (every
+    // discovery this wave assigns the same depth).
     std::vector<NodeId> next;
-    for (NodeId s = 0; s < slots; ++s) {
-      if (next_mask.test(s)) next.push_back(s);
-    }
+    parallel_append(
+        std::size_t{0}, frontier.size(), next,
+        [&](std::size_t i, std::vector<NodeId>& seg) {
+          const NodeId u = frontier[i];
+          for (NodeId v : graph.neighbors(u)) {
+            if (level[v] == kInvalidNode && next_mask.set(v)) {
+              level[v] = depth;
+              seg.push_back(v);
+            }
+          }
+        });
+    std::sort(next.begin(), next.end());
     frontier.swap(next);
   }
   return level;

@@ -53,28 +53,36 @@ std::vector<Weight> sssp_bellman_ford(const Csr& graph, NodeId source,
   for (auto& d : dist) d.store(kInfWeight, std::memory_order_relaxed);
   dist[source].store(0, std::memory_order_relaxed);
 
-  std::atomic<bool> changed{true};
-  for (std::uint32_t round = 0; round < max_rounds && changed.load(); ++round) {
-    changed.store(false, std::memory_order_relaxed);
-    parallel_for_dynamic(NodeId{0}, slots, [&](NodeId u) {
-      if (graph.is_hole(u)) return;
+  // Cross-round progress detection goes through the deterministic
+  // any-reduction (per-task verdicts OR-folded after the join) instead
+  // of the old relaxed atomic-bool store/load pair, which was ordered
+  // against the next round's check only by grace of the dispatch
+  // barrier. The per-task fold makes the round count a pure function of
+  // which relaxations succeeded — the distances themselves were already
+  // deterministic (atomic-min fixpoint).
+  bool changed = true;
+  for (std::uint32_t round = 0; round < max_rounds && changed; ++round) {
+    changed = parallel_for_dynamic_any(NodeId{0}, slots, [&](NodeId u) {
+      if (graph.is_hole(u)) return false;
       const Weight du = dist[u].load(std::memory_order_relaxed);
-      if (du == kInfWeight) return;
+      if (du == kInfWeight) return false;
       const auto nbrs = graph.neighbors(u);
       const bool weighted = graph.has_weights();
       const auto wts =
           weighted ? graph.edge_weights(u) : std::span<const Weight>{};
+      bool relaxed_any = false;
       for (std::size_t i = 0; i < nbrs.size(); ++i) {
         const Weight nd = du + (weighted ? wts[i] : Weight{1});
         Weight cur = dist[nbrs[i]].load(std::memory_order_relaxed);
         while (nd < cur) {
           if (dist[nbrs[i]].compare_exchange_weak(cur, nd,
                                                   std::memory_order_relaxed)) {
-            changed.store(true, std::memory_order_relaxed);
+            relaxed_any = true;
             break;
           }
         }
       }
+      return relaxed_any;
     });
   }
   std::vector<Weight> out(slots);

@@ -116,20 +116,24 @@ class Driver {
   /// Global sweep over `active` slots (reordered into warp order here).
   /// `traits` certifies the functor for the engine's grouped parallel
   /// replay (see sim::FunctorTraits); the default is uncertified, which
-  /// replays serially and is always safe.
+  /// replays serially and is always safe. A certified functor with sweep
+  /// aggregates (stall sums, frontier appends) routes them through
+  /// `side`, which both the boundary and cluster engines merge
+  /// deterministically (sim::SideChannel).
   template <typename Fn>
   void sweep(std::vector<NodeId>& active, Fn&& fn,
-             sim::FunctorTraits traits = {}) {
+             sim::FunctorTraits traits = {}, sim::SideChannel* side = nullptr) {
     order_active(active);
     sweep_impl(active, [](NodeId) { return true; }, std::forward<Fn>(fn),
-               traits);
+               traits, side);
   }
 
   /// Global sweep over every slot in warp order.
   template <typename Fn>
-  void sweep_all(Fn&& fn, sim::FunctorTraits traits = {}) {
+  void sweep_all(Fn&& fn, sim::FunctorTraits traits = {},
+                 sim::SideChannel* side = nullptr) {
     sweep_impl(layout_->order, [](NodeId) { return true; },
-               std::forward<Fn>(fn), traits);
+               std::forward<Fn>(fn), traits, side);
   }
 
   /// Topology-driven sweep with a per-vertex gate: every slot is assigned
@@ -138,9 +142,10 @@ class Driver {
   /// is what keeps topology-driven baselines from paying full gather
   /// traffic for untouched vertices while still paying divergence.
   template <typename Gate, typename Fn>
-  void sweep_all_gated(Gate&& gate, Fn&& fn, sim::FunctorTraits traits = {}) {
+  void sweep_all_gated(Gate&& gate, Fn&& fn, sim::FunctorTraits traits = {},
+                       sim::SideChannel* side = nullptr) {
     sweep_impl(layout_->order, std::forward<Gate>(gate), std::forward<Fn>(fn),
-               traits);
+               traits, side);
   }
 
   /// One round of shared-memory inner iterations: every cluster selected
@@ -195,7 +200,8 @@ class Driver {
   /// the staged subgraph itself — resident in shared memory.
   template <typename Gate, typename Fn>
   void sweep_impl(std::span<const NodeId> slots_in_order, Gate&& gate,
-                  Fn&& fn, sim::FunctorTraits traits = {}) {
+                  Fn&& fn, sim::FunctorTraits traits = {},
+                  sim::SideChannel* side = nullptr) {
     const std::span<const WorkItem> work = work_for(slots_in_order);
     track_primary(work.size());
     // Each lane's gate check is one coalesced state load.
@@ -203,6 +209,7 @@ class Driver {
     stats_.sweeps -= 1;  // the gate load is part of this launch
     SweepOptions opts = opts_;
     opts.functor = traits;
+    opts.side = side;
     engine_->sweep_gated(work, opts, gate, fn, stats_);
     if (has_clusters()) {
       const std::span<const WorkItem> cwork = cluster_work_for(slots_in_order);
@@ -216,6 +223,7 @@ class Driver {
         primary_items_ += cwork.size();
         SweepOptions copts = cluster_opts(false);
         copts.functor = traits;
+        copts.side = side;
         cluster_engine_->sweep_gated(cwork, copts, gate, fn, stats_);
       }
       charge_staging(slots_in_order.size());
@@ -623,26 +631,32 @@ RunOutput run_sssp(const Csr& graph, const RunConfig& config) {
   // — always real progress) and (b) the total improvement relative to
   // the magnitudes involved, and stop after two consecutive iterations
   // of neither.
-  double improvement = 0.0;
-  double improvement_base = 0.0;
-  bool discovered = false;
-
-  // Deliberately NOT certified for grouped replay: the functor sums
-  // `improvement`/`improvement_base` across all targets (a shared FP
-  // accumulator whose order the grouped replay would reassociate) and
-  // appends to the shared `changed` list. The min-plus core would
-  // qualify; the stall-detection side channel is what keeps it serial.
+  //
+  // Certified {Min, Dst} for grouped replay (DESIGN.md §7): the min-plus
+  // core reads the sweep-stable `dist` snapshot plus target state
+  // (next[v], the changed-mask bit), writes only target state — and the
+  // stall aggregates plus the changed list, which used to pin this
+  // functor serial, flow through a SideChannel: the grouped replay
+  // captures them per record and folds them in serial (block, step,
+  // lane) order, so the rounded sums, the discovery flag, and the
+  // changed-list order are byte-identical to the serial oracle.
+  enum : std::size_t { kImprovement = 0, kImprovementBase = 1 };
+  constexpr std::size_t kDiscovered = 0;
+  sim::SideChannel side(/*n_sums=*/2);
+  side.bind_appends(&changed);
+  const sim::FunctorTraits relax_traits{sim::MergeKind::Min,
+                                        sim::MergeTarget::Dst};
   auto relax = [&](NodeId u, NodeId v, Weight w) {
     const double nd = dist[u] + static_cast<double>(w);
     if (nd < next[v] - eps * (1.0 + std::abs(nd))) {
       if (std::isfinite(next[v])) {
-        improvement += next[v] - nd;
+        side.add(kImprovement, next[v] - nd);
       } else {
-        discovered = true;
+        side.raise(kDiscovered);
       }
-      improvement_base += 1.0 + std::abs(nd);
+      side.add(kImprovementBase, 1.0 + std::abs(nd));
       next[v] = nd;
-      if (changed_mask.set(v)) changed.push_back(v);
+      if (changed_mask.set(v)) side.append(v);
       return true;
     }
     return false;
@@ -650,17 +664,20 @@ RunOutput run_sssp(const Csr& graph, const RunConfig& config) {
   // Cluster inner iterations are sequential micro-launches inside shared
   // memory: they may read their own updates (that is their whole point,
   // per §3's t ~ 2x diameter reuse argument), so relax against `next`.
+  // That Gauss-Seidel read keeps THIS functor uncertified — no side
+  // channel can fix an order-sensitive value chain — so its sweeps
+  // replay serially and the shared channel stays in direct mode there.
   auto cluster_relax = [&](NodeId u, NodeId v, Weight w) {
     const double nd = next[u] + static_cast<double>(w);
     if (nd < next[v] - eps * (1.0 + std::abs(nd))) {
       if (std::isfinite(next[v])) {
-        improvement += next[v] - nd;
+        side.add(kImprovement, next[v] - nd);
       } else {
-        discovered = true;
+        side.raise(kDiscovered);
       }
-      improvement_base += 1.0 + std::abs(nd);
+      side.add(kImprovementBase, 1.0 + std::abs(nd));
       next[v] = nd;
-      if (changed_mask.set(v)) changed.push_back(v);
+      if (changed_mask.set(v)) side.append(v);
       return true;
     }
     return false;
@@ -671,14 +688,13 @@ RunOutput run_sssp(const Csr& graph, const RunConfig& config) {
     ++out.iterations;
     changed.clear();
     changed_mask.clear();
-    improvement = 0.0;
-    improvement_base = 0.0;
-    discovered = false;
+    side.reset();
     if (driver.data_driven()) {
-      driver.sweep(active, relax);
+      driver.sweep(active, relax, relax_traits, &side);
     } else {
       driver.sweep_all_gated(
-          [&](NodeId u) { return std::isfinite(dist[u]); }, relax);
+          [&](NodeId u) { return std::isfinite(dist[u]); }, relax,
+          relax_traits, &side);
     }
     // Only clusters that actually received new information this
     // iteration run their inner refinement rounds — under data-driven
@@ -711,8 +727,9 @@ RunOutput run_sssp(const Csr& graph, const RunConfig& config) {
     dist = next;
     if (config.collect_trace) out.trace.push_back({out.iterations, driver.stats()});
     if (changed.empty()) break;
-    if (!discovered &&
-        improvement < 100.0 * eps * std::max(1.0, improvement_base)) {
+    if (!side.flag(kDiscovered) &&
+        side.sum(kImprovement) <
+            100.0 * eps * std::max(1.0, side.sum(kImprovementBase))) {
       if (++stalled >= 2) break;
     } else {
       stalled = 0;
@@ -909,19 +926,27 @@ RunOutput run_bc(const Csr& graph, const RunConfig& config) {
     // replica whose primary was just discovered propagates in the same
     // wave it would have as part of the original node.
     NodeId depth = 0;
+    // Certified {Sum, Dst} for grouped replay (DESIGN.md §7): the sigma
+    // accumulation is a clean plus-merge into the target — level[u] and
+    // sigma[u] are sweep-stable for every recorded call (a level-d
+    // vertex is never written this sweep: only kInvalidNode slots
+    // transition, to depth+1) and level[v]/sigma[v] are target state.
+    // The frontier discovery, which used to pin this functor serial,
+    // appends through a SideChannel: per-record capture concatenated in
+    // serial (block, step, lane) order makes the next frontier's
+    // contents AND order byte-identical to the serial oracle.
+    sim::SideChannel frontier_side;
+    const sim::FunctorTraits forward_traits{sim::MergeKind::Sum,
+                                            sim::MergeTarget::Dst};
     while (true) {
       sync_replicas_forward(depth, &by_level[depth]);
       std::vector<NodeId> next_frontier;
-      // Not certified for grouped replay: the functor appends newly
-      // discovered vertices to the shared next_frontier list, a side
-      // effect outside any merge target's state (and a data race under
-      // concurrent absorption). The sigma accumulation alone would be a
-      // clean plus-merge; the frontier discovery is what pins it serial.
+      frontier_side.bind_appends(&next_frontier);
       auto forward = [&](NodeId u, NodeId v, Weight) {
         if (level[u] != depth) return false;
         if (level[v] == kInvalidNode) {
           level[v] = depth + 1;
-          next_frontier.push_back(v);
+          frontier_side.append(v);
         }
         if (level[v] == depth + 1) {
           sigma[v] += sigma[u];
@@ -931,10 +956,10 @@ RunOutput run_bc(const Csr& graph, const RunConfig& config) {
       };
       if (drv.data_driven()) {
         std::vector<NodeId> frontier = by_level[depth];
-        drv.sweep(frontier, forward);
+        drv.sweep(frontier, forward, forward_traits, &frontier_side);
       } else {
         drv.sweep_all_gated([&](NodeId u) { return level[u] == depth; },
-                            forward);
+                            forward, forward_traits, &frontier_side);
       }
       if (next_frontier.empty()) break;
       ++depth;

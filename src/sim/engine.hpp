@@ -129,6 +129,139 @@ struct FunctorTraits {
   [[nodiscard]] bool certified() const { return merge != MergeKind::None; }
 };
 
+/// Deterministic side-channel reductions (DESIGN.md §7).
+///
+/// The FunctorTraits contract forbids side effects outside the merge
+/// target's state, which locks out functors that also maintain *sweep
+/// aggregates*: SSSP relax sums FP improvement magnitudes for stall
+/// detection and appends changed vertices; BC forward appends the next
+/// frontier. A SideChannel is the sanctioned escape hatch: the functor
+/// routes those effects through add()/raise()/append(), and the channel
+/// guarantees the observable results — rounded FP sums, flag values, and
+/// append order — are byte-identical to the serial oracle at any thread
+/// count or chunking.
+///
+/// Two modes:
+///   - Direct (default): every op applies immediately in call order.
+///     Serial replays (fused path, uncertified functors, cluster inner
+///     rounds) use this — call order IS serial lex order there.
+///   - Grouped capture: during the grouped replay the engine brackets
+///     each absorb call with begin_call(r), so ops land in per-RECORD
+///     scratch. Per-record, not per-chunk: merging per-chunk FP partials
+///     would reassociate the sums and break bit-identity. After the
+///     absorb, merge_grouped() folds the records in one serial walk in
+///     ascending record index — which is exactly the serial (block,
+///     step, lane) call order — so sums round identically, flags agree,
+///     and appends concatenate in serial discovery order. The walk is
+///     serial O(records) but touches ~5 bytes per record; the parallel
+///     absorb it follows does far more work per record.
+///
+/// Functor-side contract: at most one append() per functor call (an
+/// edge functor discovers at most its own target), and sum/flag indices
+/// must be < the counts fixed at construction. Wire a channel into a
+/// sweep via SweepOptions::side; the same channel may serve several
+/// sequential sweeps (boundary + cluster parts of one launch) — each
+/// merges before the next begins, preserving the serial interleaving.
+class SideChannel {
+ public:
+  /// Per-channel FP accumulator capacity; flags share the tag byte with
+  /// the sums, so both are capped at 4.
+  static constexpr std::size_t kMaxSums = 4;
+  static constexpr std::size_t kMaxFlags = 4;
+
+  explicit SideChannel(std::size_t n_sums = 0) : n_sums_(n_sums) {
+    GRAFFIX_CHECK(n_sums <= kMaxSums, "SideChannel: %zu sums > cap %zu",
+                  n_sums, kMaxSums);
+    reset();
+  }
+
+  /// Destination list for append(); may be rebound between sweeps (BC
+  /// rebinds per wave). Null means append() must not be called.
+  void bind_appends(std::vector<NodeId>* out) { out_ = out; }
+
+  /// Zeroes sums and flags for the next iteration. Does NOT clear the
+  /// bound append list — the caller owns its lifecycle.
+  void reset() {
+    for (double& s : sums_) s = 0.0;
+    flags_ = 0;
+  }
+
+  /// Accumulates v into sum k, in serial call order either immediately
+  /// (direct mode) or via the per-record merge (grouped capture).
+  void add(std::size_t k, double v) {
+    if (grouped_) {
+      rec_sum_[tl_rec_ * n_sums_ + k] += v;
+      rec_tag_[tl_rec_] |= static_cast<std::uint8_t>(1u << k);
+    } else {
+      sums_[k] += v;
+    }
+  }
+
+  /// Raises boolean flag k (OR-fold; order-free by construction).
+  void raise(std::size_t k) {
+    if (grouped_) {
+      rec_tag_[tl_rec_] |= static_cast<std::uint8_t>(0x10u << k);
+    } else {
+      flags_ |= static_cast<std::uint8_t>(1u << k);
+    }
+  }
+
+  /// Appends v to the bound list, in serial discovery order.
+  void append(NodeId v) {
+    if (grouped_) {
+      GRAFFIX_CHECK(rec_append_[tl_rec_] == kInvalidNode,
+                    "SideChannel: a functor call may append at most once");
+      rec_append_[tl_rec_] = v;
+    } else {
+      out_->push_back(v);
+    }
+  }
+
+  [[nodiscard]] double sum(std::size_t k) const { return sums_[k]; }
+  [[nodiscard]] bool flag(std::size_t k) const {
+    return ((flags_ >> k) & 1) != 0;
+  }
+
+  // Engine-facing hooks (grouped replay only; see Engine::replay_grouped).
+  void begin_grouped(std::size_t n_records);
+  void begin_call(std::size_t r) { tl_rec_ = r; }
+  void merge_grouped();
+
+ private:
+  std::size_t n_sums_;
+  double sums_[kMaxSums] = {};
+  std::uint8_t flags_ = 0;
+  bool grouped_ = false;
+  std::vector<NodeId>* out_ = nullptr;
+  std::size_t n_records_ = 0;
+  // Per-record capture scratch, arena-pooled like the engine's replay
+  // tables. rec_tag_ bits 0-3 mark touched sums, bits 4-7 raised flags;
+  // untouched records are skipped in the merge so spurious +0.0 folds
+  // (and their -0.0 edge cases) can never perturb the totals.
+  ArenaVector<double> rec_sum_;
+  ArenaVector<std::uint8_t> rec_tag_;
+  ArenaVector<NodeId> rec_append_;
+  // The absorb's current record index. thread_local (absorb workers set
+  // it independently) and shared across channels — safe because engines
+  // are non-reentrant and every absorb call is bracketed by begin_call.
+  static thread_local std::size_t tl_rec_;
+};
+
+/// Testing only, process-wide analogues of Engine's per-instance knobs
+/// for drivers that own their engines privately (run_sssp / run_bc):
+/// forces every engine's chunk policy to min(n, blocks) when n > 0, and
+/// counts grouped replays across all engines. Atomics — forked BC
+/// drivers consult them from pool workers. Prefer the
+/// ScopedGlobalSweepChunks RAII guard below.
+void set_global_sweep_chunks_for_test(std::size_t n);
+[[nodiscard]] std::size_t global_sweep_chunks_for_test();
+[[nodiscard]] std::uint64_t global_grouped_replays_for_test();
+
+namespace detail {
+/// Bumps the process-wide grouped-replay counter (engine-internal).
+void note_grouped_replay();
+}  // namespace detail
+
 /// Per-sweep options.
 struct SweepOptions {
   EdgeLoadMode edge_mode = EdgeLoadMode::Csr;
@@ -148,6 +281,11 @@ struct SweepOptions {
   /// Commutativity certification for this sweep's functor; defaults to
   /// uncertified (serial replay).
   FunctorTraits functor = {};
+  /// Optional side-channel the functor routes its sweep aggregates
+  /// through. Only the grouped replay interacts with it (per-record
+  /// capture + in-order merge); serial paths leave it in direct mode,
+  /// where ops apply in call order anyway.
+  SideChannel* side = nullptr;
 };
 
 /// Per-chunk accounting scratch. Bank words and the distinct-segment set
@@ -313,7 +451,8 @@ class Engine {
     // edges are cache-hot — the pre-sharding single-traversal cost. The
     // prepass is what keeps gate timing identical to the two-phase path
     // (every gate fires before any fn()); see the file comment.
-    if (n_chunks == 1 && chunks_override_ == 0) {
+    if (n_chunks == 1 && chunks_override_ == 0 &&
+        global_sweep_chunks_for_test() == 0) {
       auto& live = chunk_live_[0];
       live.clear();
       for (std::size_t b = 0; b < n_blocks; ++b) {
@@ -521,6 +660,7 @@ class Engine {
   void replay_grouped(std::span<const WorkItem> items, const SweepOptions& opts,
                       std::size_t n_chunks, EdgeFn&& fn, KernelStats& stats) {
     grouped_replays_ += 1;
+    detail::note_grouped_replay();
     const std::uint32_t ws = config_.warp_size;
     const auto targets = graph_->targets();
     const auto weights = graph_->weights();
@@ -559,6 +699,10 @@ class Engine {
     rec_order_.resize(total);
     cnt_.resize(n_replay * n_slots);
     if (tgt_off_.size() < n_slots + 1) tgt_off_.resize(n_slots + 1);
+    // Arm the side channel's per-record capture: record index == serial
+    // call order, so its post-absorb merge reproduces the serial fold.
+    SideChannel* const side = opts.side;
+    if (side != nullptr) side->begin_grouped(total);
 
     // Pass 2: emit records block-major and histogram per (chunk, target).
     parallel_tasks(n_replay, [&](std::size_t rc) {
@@ -655,10 +799,15 @@ class Engine {
         for (std::uint64_t i = tgt_off_[s]; i < i_hi; ++i) {
           const std::uint32_t r = rec_order_[i];
           const ReplayRec& rec = rec_[r];
+          if (side != nullptr) side->begin_call(r);
           rec_commit_[r] = fn(rec.u, rec.v, rec.w) ? 1 : 0;
         }
       }
     });
+    // Fold the captured side effects in ascending record order — the
+    // serial (block, step, lane) call order — before anything reads the
+    // channel. Pass 6 only replays commit flags; it never calls fn.
+    if (side != nullptr) side->merge_grouped();
 
     // Pass 6: replay the stored commit flags through the serial
     // commit/conflict accounting, per replay chunk, reduced ascending.
@@ -740,6 +889,20 @@ class ScopedSweepChunks {
 
  private:
   Engine* engine_;
+};
+
+/// RAII form of set_global_sweep_chunks_for_test: forces the chunk
+/// policy of EVERY engine in the process (driver-owned engines included)
+/// and restores the automatic policy on scope exit. Not nestable; the
+/// driver-level replay-equivalence tests are its only intended user.
+class ScopedGlobalSweepChunks {
+ public:
+  explicit ScopedGlobalSweepChunks(std::size_t n) {
+    set_global_sweep_chunks_for_test(n);
+  }
+  ~ScopedGlobalSweepChunks() { set_global_sweep_chunks_for_test(0); }
+  ScopedGlobalSweepChunks(const ScopedGlobalSweepChunks&) = delete;
+  ScopedGlobalSweepChunks& operator=(const ScopedGlobalSweepChunks&) = delete;
 };
 
 /// Builds one WorkItem per listed slot covering its whole adjacency.

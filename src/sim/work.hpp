@@ -13,6 +13,13 @@
 // shared Layout) and reusing them across iterations; a cached layout is
 // only valid for the exact (graph, order, strategy) triple it was built
 // from, so swapping any of those means building a new driver.
+//
+// Work lists built from a *frontier* (data-driven sweeps) are rebuilt per
+// sweep from the active list. Frontiers produced inside a sweep — SSSP's
+// changed set, BC forward's next wave — come out of the deterministic
+// side-channel append merge (sim::SideChannel, DESIGN.md §7), so the slot
+// list a frontier work list is built from is byte-identical at any thread
+// count or chunking, and so is the resulting WorkItem layout.
 #pragma once
 
 #include <cstdint>

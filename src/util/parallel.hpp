@@ -23,6 +23,7 @@
 #include <memory>
 #include <type_traits>
 #include <utility>
+#include <vector>
 
 #include <omp.h>
 
@@ -156,6 +157,79 @@ void parallel_for_each_dynamic(const List& items, Body&& body,
   parallel_for_dynamic(
       std::size_t{0}, items.size(), [&](std::size_t i) { body(items[i], i); },
       grain);
+}
+
+/// Deterministic any-reduction with dynamic scheduling: runs body(i) ->
+/// bool over [begin, end) exactly like parallel_for_dynamic and returns
+/// whether ANY body returned true. Every body runs (no short-circuit —
+/// bodies usually carry the real work); each grain-sized task records
+/// its verdict in its own slot and the slots are OR-folded after the
+/// join, so the result is a pure function of the bodies, never of which
+/// thread observed a flag first. Replaces the relaxed atomic-bool
+/// "changed" idiom, which was correct only by grace of the join barrier
+/// and invited load/store-ordering mistakes (DESIGN.md §7).
+template <typename Index, typename Body>
+bool parallel_for_dynamic_any(Index begin, Index end, Body&& body,
+                              std::int64_t grain = 256) {
+  const auto n =
+      static_cast<std::int64_t>(end) - static_cast<std::int64_t>(begin);
+  if (n <= 0) return false;
+  if (grain < 1) grain = 1;
+  const auto n_tasks = static_cast<std::size_t>((n + grain - 1) / grain);
+  std::vector<std::uint8_t> hit(n_tasks, 0);
+  parallel_tasks(n_tasks, [&](std::size_t c) {
+    const std::int64_t lo = static_cast<std::int64_t>(c) * grain;
+    const std::int64_t hi = lo + grain < n ? lo + grain : n;
+    std::uint8_t h = 0;
+    for (std::int64_t i = lo; i < hi; ++i) {
+      if (body(static_cast<Index>(begin + i))) h = 1;
+    }
+    hit[c] = h;
+  });
+  std::uint8_t any = 0;
+  for (const std::uint8_t h : hit) any |= h;
+  return any != 0;
+}
+
+/// Deterministic segmented append: runs body(i, segment) over
+/// [begin, end) in grain-sized tasks, each appending to a private
+/// segment vector, then concatenates the segments onto `out` in
+/// ascending task order (within a task, in call order). The output
+/// order is thus a pure function of task boundaries and the bodies —
+/// never of thread scheduling. This is the host-side analogue of the
+/// engine SideChannel's per-record append merge (DESIGN.md §7); BFS
+/// frontier generation uses it. Bodies run concurrently for distinct
+/// tasks and must not touch `out` directly; the single-task / nested /
+/// one-worker case appends straight into `out` in the same order.
+template <typename Index, typename T, typename Body>
+void parallel_append(Index begin, Index end, std::vector<T>& out, Body&& body,
+                     std::int64_t grain = 256) {
+  const auto n =
+      static_cast<std::int64_t>(end) - static_cast<std::int64_t>(begin);
+  if (n <= 0) return;
+  if (grain < 1) grain = 1;
+  const auto n_tasks = static_cast<std::size_t>((n + grain - 1) / grain);
+  if (n_tasks == 1 || effective_workers() <= 1 || in_parallel()) {
+    for (std::int64_t i = 0; i < n; ++i) {
+      body(static_cast<Index>(begin + i), out);
+    }
+    return;
+  }
+  std::vector<std::vector<T>> segments(n_tasks);
+  parallel_tasks(n_tasks, [&](std::size_t c) {
+    std::vector<T>& seg = segments[c];
+    const std::int64_t lo = static_cast<std::int64_t>(c) * grain;
+    const std::int64_t hi = lo + grain < n ? lo + grain : n;
+    for (std::int64_t i = lo; i < hi; ++i) {
+      body(static_cast<Index>(begin + i), seg);
+    }
+  });
+  std::size_t total = out.size();
+  for (const auto& seg : segments) total += seg.size();
+  out.reserve(total);
+  for (const auto& seg : segments) {
+    out.insert(out.end(), seg.begin(), seg.end());
+  }
 }
 
 /// Sum-reduction over [begin, end): returns sum of body(i). The

@@ -12,6 +12,8 @@
 #include <span>
 #include <vector>
 
+#include "algorithms/bfs.hpp"
+#include "algorithms/sssp.hpp"
 #include "core/runners.hpp"
 #include "gen/suite.hpp"
 #include "graph/builder.hpp"
@@ -621,6 +623,47 @@ TEST(RunnerDeterminism, BcTraceMatchesSerialCumulativeStats) {
       EXPECT_EQ(got.trace[i].stats, ref.trace[i].stats)
           << "threads=" << t << " trace point " << i;
     }
+  }
+}
+
+// --- host reference algorithms (cross-round ordering) ----------------
+
+TEST(HostAlgorithmDeterminism, BellmanFordLongChainAcrossThreadCounts) {
+  // Regression for the cross-round progress flag: the old relaxed
+  // atomic-bool store/load pair was ordered against the next round's
+  // check only by grace of the dispatch barrier; the deterministic
+  // any-reduction makes the round count a pure function of which
+  // relaxations succeeded. A long chain is the adversarial input — it
+  // needs one round per hop, so a progress verdict lost between rounds
+  // truncates the far distances instead of perturbing them subtly.
+  constexpr NodeId kLen = 1500;
+  GraphBuilder b(kLen);
+  b.set_weighted(true);
+  for (NodeId i = 0; i + 1 < kLen; ++i) {
+    b.add_edge(i, i + 1, 1.0f + static_cast<float>(i % 7));
+    // A few shortcuts so multiple candidates race for the same target.
+    if (i % 97 == 0 && i + 5 < kLen) b.add_edge(i, i + 5, 40.0f);
+  }
+  const Csr g = b.build();
+  const auto ref = sssp_dijkstra(g, 0);
+  for (int t : kThreadCounts) {
+    const auto got = at_threads(t, [&] { return sssp_bellman_ford(g, 0); });
+    ASSERT_EQ(got.size(), ref.size()) << "threads=" << t;
+    for (NodeId v = 0; v < kLen; ++v) {
+      EXPECT_EQ(got[v], ref[v]) << "threads=" << t << " v=" << v;
+    }
+  }
+}
+
+TEST(HostAlgorithmDeterminism, ParallelBfsIdenticalAcrossThreadCounts) {
+  // The frontier now flows through parallel_append + one sort; levels
+  // and the implied traversal must be thread-count invariant.
+  const Csr g = make_preset(GraphPreset::Rmat26, 11, 21);
+  const auto ref = at_threads(1, [&] { return parallel_bfs(g, 0); });
+  for (int t : {2, 8}) {
+    const auto got = at_threads(t, [&] { return parallel_bfs(g, 0); });
+    ASSERT_EQ(got.size(), ref.size()) << "threads=" << t;
+    EXPECT_EQ(got, ref) << "threads=" << t;
   }
 }
 

@@ -191,6 +191,41 @@ TEST(LintR3, ContinuationLinesAreJoined) {
   EXPECT_EQ(count_rule(result, "R3"), 1u);
 }
 
+TEST(LintR3, SideChannelMergeCannotUseRawFpReduction) {
+  // The ISSUE-8 temptation, spelled out: merging SideChannel per-record
+  // FP partials with an omp reduction would reassociate the sums and
+  // break the byte-identity contract. sim/engine.cpp is NOT on the R1
+  // substrate allowlist, so a raw pragma fires R1 and the FP reduction
+  // fires R3 — the shortcut is caught twice.
+  const auto result = lint::lint_source("src/sim/engine.cpp", R"cpp(
+void merge_grouped_wrong(const double* rec_sum, int n, double* total) {
+  double acc = 0.0;
+#pragma omp parallel for reduction(+ : acc)
+  for (int i = 0; i < n; ++i) acc += rec_sum[i];
+  *total = acc;
+}
+)cpp");
+  EXPECT_EQ(count_rule(result, "R1"), 1u);
+  EXPECT_EQ(count_rule(result, "R3"), 1u);
+}
+
+TEST(LintR3, SideChannelSerialMergeIdiomIsClean) {
+  // The shape the real SideChannel::merge_grouped uses — a serial
+  // ascending-record fold with a tag-byte early-out — carries no
+  // pragmas and needs no suppressions; the engine stays budget-neutral.
+  const auto result = lint::lint_source("src/sim/engine.cpp", R"cpp(
+void merge_grouped(const double* rec_sum, const unsigned char* rec_tag,
+                   int n, double* total) {
+  double acc = *total;
+  for (int i = 0; i < n; ++i) {
+    if (rec_tag[i] != 0) acc += rec_sum[i];
+  }
+  *total = acc;
+}
+)cpp");
+  EXPECT_TRUE(result.clean());
+}
+
 // --- R4: std::sort in transform/sim --------------------------------------
 
 TEST(LintR4, StdSortInTransformFiresExactlyOnce) {
