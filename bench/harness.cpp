@@ -430,6 +430,53 @@ void print_phase_scaling_table(
   });
 }
 
+void print_serve_table(const std::string& title,
+                       const std::vector<ServeBenchRow>& rows,
+                       std::uint64_t nodes, std::uint64_t edges) {
+  std::printf("\n%s\n", title.c_str());
+  metrics::Table table({"Clients", "Queries", "Time (s)", "QPS", "p50 (ms)",
+                        "p95 (ms)", "p99 (ms)", "Batch occ."});
+  for (const auto& row : rows) {
+    const double occupancy =
+        row.batches > 0
+            ? static_cast<double>(row.batched_lanes) /
+                  static_cast<double>(row.batches)
+            : 1.0;
+    table.add_row({std::to_string(row.clients), std::to_string(row.queries),
+                   metrics::Table::num(row.seconds, 3),
+                   metrics::Table::num(row.qps, 1),
+                   metrics::Table::num(row.p50_ms, 2),
+                   metrics::Table::num(row.p95_ms, 2),
+                   metrics::Table::num(row.p99_ms, 2),
+                   metrics::Table::num(occupancy, 1)});
+  }
+  table.print();
+  std::printf("graph: %llu nodes, %llu edges\n",
+              static_cast<unsigned long long>(nodes),
+              static_cast<unsigned long long>(edges));
+  json_table(title, "serve", [&](FILE* f) {
+    std::fprintf(f, "\"nodes\":%llu,\"edges\":%llu,\"rows\":[",
+                 static_cast<unsigned long long>(nodes),
+                 static_cast<unsigned long long>(edges));
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const auto& row = rows[i];
+      std::fprintf(f,
+                   "%s{\"clients\":%u,\"queries\":%llu,\"seconds\":%.9g,"
+                   "\"qps\":%.9g,\"p50_ms\":%.9g,\"p95_ms\":%.9g,"
+                   "\"p99_ms\":%.9g,\"units\":%llu,\"batches\":%llu,"
+                   "\"batched_lanes\":%llu,\"errors\":%llu}",
+                   i > 0 ? "," : "", row.clients,
+                   static_cast<unsigned long long>(row.queries), row.seconds,
+                   row.qps, row.p50_ms, row.p95_ms, row.p99_ms,
+                   static_cast<unsigned long long>(row.units),
+                   static_cast<unsigned long long>(row.batches),
+                   static_cast<unsigned long long>(row.batched_lanes),
+                   static_cast<unsigned long long>(row.errors));
+    }
+    std::fprintf(f, "]");
+  });
+}
+
 namespace {
 
 /// Fixed-width ASCII bar scaled to [lo, hi]; the poor man's Figure 7-9.

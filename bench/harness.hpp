@@ -137,6 +137,30 @@ void print_phase_scaling_table(
     const std::string& title, const std::vector<int>& thread_counts,
     const std::vector<std::vector<core::PreprocessReport>>& runs);
 
+/// One bench_serve row: a closed-loop client fleet against a resident
+/// `graffix serve` daemon. Latency percentiles are the server's own
+/// admission-to-response numbers (ServerMetrics), so the row captures
+/// queueing + batching effects, not just raw sweep time.
+struct ServeBenchRow {
+  std::uint32_t clients = 0;
+  std::uint64_t queries = 0;
+  double seconds = 0.0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  std::uint64_t units = 0;          // execution units dispatched
+  std::uint64_t batches = 0;        // multi-lane units among them
+  std::uint64_t batched_lanes = 0;  // lanes across those batches
+  std::uint64_t errors = 0;         // must be 0 in a healthy run
+};
+
+/// Prints the serving-throughput table and emits one "serve" JSON table
+/// (qps + tail latency per client count, with batch occupancy).
+void print_serve_table(const std::string& title,
+                       const std::vector<ServeBenchRow>& rows,
+                       std::uint64_t nodes, std::uint64_t edges);
+
 /// Prints a Figure 7/8/9-style threshold sweep: one row per threshold with
 /// geomean speedup and inaccuracy columns.
 struct SweepPoint {

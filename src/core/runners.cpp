@@ -1327,4 +1327,38 @@ RunOutput run_algorithm(Algorithm alg, const Csr& graph,
   return {};
 }
 
+const char* validate_run_config(Algorithm alg, const Csr& graph,
+                                const RunConfig& config) {
+  const NodeId slots = graph.num_slots();
+  if (!config.warp_order.empty() && config.warp_order.size() != slots) {
+    return "warp_order size does not match graph slots";
+  }
+  if (config.max_iterations == 0) return "max_iterations must be >= 1";
+  switch (alg) {
+    case Algorithm::SSSP:
+      if (config.sssp_source >= slots) return "sssp source out of range";
+      if (graph.is_hole(config.sssp_source)) return "sssp source is a hole slot";
+      break;
+    case Algorithm::BC:
+      for (const NodeId s : config.bc_sources) {
+        if (s >= slots) return "bc source out of range";
+        if (graph.is_hole(s)) return "bc source is a hole slot";
+      }
+      if (config.bc_sources.empty() && config.bc_sample_count == 0) {
+        return "bc_sample_count must be >= 1 when no sources are given";
+      }
+      break;
+    case Algorithm::PR:
+      if (!(config.pr_damping > 0.0 && config.pr_damping < 1.0)) {
+        return "pr_damping must lie in (0, 1)";
+      }
+      if (config.pr_max_iterations == 0) return "pr_max_iterations must be >= 1";
+      break;
+    case Algorithm::MST:
+    case Algorithm::SCC:
+      break;
+  }
+  return nullptr;
+}
+
 }  // namespace graffix::core

@@ -93,4 +93,12 @@ struct RunOutput {
 [[nodiscard]] RunOutput run_algorithm(Algorithm alg, const Csr& graph,
                                       const RunConfig& config);
 
+/// Preflight for run_algorithm: returns nullptr when `config` is runnable
+/// on `graph`, else a static string describing the first problem. The
+/// runners GRAFFIX_CHECK-abort on bad sources and malformed knobs — fine
+/// for a bench binary, fatal for the serve daemon, which validates here
+/// first and maps failures to typed error responses.
+[[nodiscard]] const char* validate_run_config(Algorithm alg, const Csr& graph,
+                                              const RunConfig& config);
+
 }  // namespace graffix::core

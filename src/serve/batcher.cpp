@@ -1,0 +1,184 @@
+#include "serve/batcher.hpp"
+
+#include <cmath>
+#include <limits>
+#include <utility>
+
+namespace graffix::serve {
+
+std::size_t GraphSnapshot::resident_bytes() const {
+  return graph.memory_bytes() + warp_order.size() * sizeof(NodeId) +
+         items.size() * sizeof(sim::WorkItem);
+}
+
+std::shared_ptr<const GraphSnapshot> make_snapshot(
+    std::string variant, std::uint64_t version, Csr graph,
+    std::vector<NodeId> warp_order) {
+  auto snap = std::make_shared<GraphSnapshot>();
+  snap->variant = std::move(variant);
+  snap->version = version;
+  snap->graph = std::move(graph);
+  snap->warp_order = std::move(warp_order);
+  snap->items = snap->warp_order.empty()
+                    ? sim::items_all_vertices(snap->graph)
+                    : sim::items_per_vertex(snap->graph, snap->warp_order);
+  return snap;
+}
+
+std::vector<std::vector<std::size_t>> form_units(
+    std::span<const Request* const> wave,
+    const std::function<const void*(std::size_t)>& snapshot_of,
+    std::uint32_t max_lanes) {
+  if (max_lanes == 0) max_lanes = 1;
+  if (max_lanes > kMaxBatchLanes) max_lanes = kMaxBatchLanes;
+  std::vector<std::vector<std::size_t>> units;
+  // Open group per (snapshot, alg) key; a handful of live variants means
+  // a linear scan beats any map here.
+  struct Open {
+    const void* snap;
+    QueryAlg alg;
+    std::size_t unit;
+  };
+  std::vector<Open> open;
+  for (std::size_t i = 0; i < wave.size(); ++i) {
+    const Request& req = *wave[i];
+    const bool batchable =
+        req.op == Op::Query &&
+        (req.alg == QueryAlg::Sssp || req.alg == QueryAlg::Bfs);
+    if (!batchable) {
+      units.push_back({i});
+      continue;
+    }
+    const void* snap = snapshot_of(i);
+    Open* slot = nullptr;
+    for (Open& o : open) {
+      if (o.snap == snap && o.alg == req.alg) { slot = &o; break; }
+    }
+    if (slot != nullptr && units[slot->unit].size() < max_lanes) {
+      units[slot->unit].push_back(i);
+      continue;
+    }
+    units.push_back({i});
+    if (slot != nullptr) {
+      slot->unit = units.size() - 1;
+    } else {
+      open.push_back({snap, req.alg, units.size() - 1});
+    }
+  }
+  return units;
+}
+
+MultiSourceOutcome run_multi_source_on(sim::Engine& engine,
+                                       const GraphSnapshot& snap, QueryAlg alg,
+                                       std::span<const LaneSpec> lanes) {
+  MultiSourceOutcome out;
+  const std::size_t lane_count = lanes.size();
+  out.lanes.resize(lane_count);
+  if (lane_count == 0) return out;
+  if (engine.in_sweep()) {
+    out.engine_busy = true;
+    return out;
+  }
+
+  const std::size_t slots = snap.graph.num_slots();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // Lane-major planes: dist[slot * K + k]. One cache line serves all
+  // lanes of a vertex, which is what makes the K-wide functor cheap.
+  std::vector<double> dist(slots * lane_count, kInf);
+  for (std::size_t k = 0; k < lane_count; ++k) {
+    dist[static_cast<std::size_t>(lanes[k].source) * lane_count + k] = 0.0;
+  }
+  std::vector<double> next = dist;
+
+  std::vector<std::uint8_t> active(lane_count, 1);
+  std::vector<std::uint8_t> lane_changed(lane_count, 0);
+  std::vector<std::uint32_t> last_round(lane_count, 0);
+
+  sim::SweepOptions opts;
+  opts.weighted = alg == QueryAlg::Sssp && snap.graph.has_weights();
+  sim::KernelStats stats;
+
+  // Bellman-Ford needs at most |V|-1 improving rounds on nonnegative
+  // weights; the cap is a belt against a (bug-induced) livelock.
+  const std::uint32_t round_cap = static_cast<std::uint32_t>(slots) + 2;
+  std::uint32_t round = 0;
+  while (round < round_cap) {
+    for (std::size_t k = 0; k < lane_count; ++k) {
+      if (active[k] != 0 && lanes[k].expired && lanes[k].expired()) {
+        active[k] = 0;
+        out.lanes[k].expired = true;
+      }
+    }
+    bool any_active = false;
+    for (const std::uint8_t a : active) any_active = any_active || a != 0;
+    if (!any_active) break;
+
+    ++round;
+    std::fill(lane_changed.begin(), lane_changed.end(), std::uint8_t{0});
+    auto gate = [&](NodeId u) {
+      const double* row = &dist[static_cast<std::size_t>(u) * lane_count];
+      for (std::size_t k = 0; k < lane_count; ++k) {
+        if (active[k] != 0 && std::isfinite(row[k])) return true;
+      }
+      return false;
+    };
+    auto fn = [&](NodeId u, NodeId v, Weight w) {
+      const double* row = &dist[static_cast<std::size_t>(u) * lane_count];
+      double* nrow = &next[static_cast<std::size_t>(v) * lane_count];
+      const double step = alg == QueryAlg::Bfs ? 1.0 : static_cast<double>(w);
+      bool commit = false;
+      for (std::size_t k = 0; k < lane_count; ++k) {
+        if (active[k] == 0) continue;
+        const double d = row[k];
+        if (!std::isfinite(d)) continue;
+        const double nd = d + step;
+        if (nd < nrow[k]) {
+          nrow[k] = nd;
+          lane_changed[k] = 1;
+          commit = true;
+        }
+      }
+      return commit;
+    };
+    if (!engine.try_sweep_gated(snap.items, opts, gate, fn, stats)) {
+      out.engine_busy = true;
+      return out;
+    }
+    bool any_change = false;
+    for (std::size_t k = 0; k < lane_count; ++k) {
+      if (lane_changed[k] != 0) {
+        last_round[k] = round;
+        any_change = true;
+      }
+    }
+    if (!any_change) break;
+    dist = next;
+  }
+
+  for (std::size_t k = 0; k < lane_count; ++k) {
+    LaneOutcome& lane = out.lanes[k];
+    lane.rounds = last_round[k];
+    std::uint64_t h = fnv1a64(nullptr, 0);
+    NodeId reached = 0;
+    for (std::size_t s = 0; s < slots; ++s) {
+      const double d = dist[s * lane_count + k];
+      h = fnv1a64_append(h, &d, sizeof d);
+      if (std::isfinite(d)) ++reached;
+    }
+    lane.digest = h;
+    lane.reached = reached;
+    lane.values.reserve(lanes[k].echo_nodes.size());
+    for (const NodeId n : lanes[k].echo_nodes) {
+      lane.values.push_back(dist[static_cast<std::size_t>(n) * lane_count + k]);
+    }
+  }
+  return out;
+}
+
+MultiSourceOutcome run_multi_source(const GraphSnapshot& snap, QueryAlg alg,
+                                    std::span<const LaneSpec> lanes) {
+  sim::Engine engine(snap.graph, sim::SimConfig{});
+  return run_multi_source_on(engine, snap, alg, lanes);
+}
+
+}  // namespace graffix::serve

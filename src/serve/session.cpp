@@ -1,0 +1,125 @@
+#include "serve/session.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+
+namespace graffix::serve {
+
+FdTransport::FdTransport(int in_fd, int out_fd, std::size_t max_frame_bytes)
+    : in_fd_(in_fd), out_fd_(out_fd), max_frame_(max_frame_bytes) {}
+
+FdTransport::~FdTransport() {
+  if (in_fd_ >= 0) ::close(in_fd_);
+  if (out_fd_ >= 0 && out_fd_ != in_fd_) ::close(out_fd_);
+}
+
+FdTransport::ReadStatus FdTransport::read_line(std::string& out) {
+  bool discarding = false;
+  char chunk[4096];
+  while (true) {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      if (discarding || nl > max_frame_) {
+        buffer_.erase(0, nl + 1);
+        return ReadStatus::TooLong;
+      }
+      out.assign(buffer_, 0, nl);
+      buffer_.erase(0, nl + 1);
+      return ReadStatus::Line;
+    }
+    if (!discarding && buffer_.size() > max_frame_) {
+      // Overlong frame: stop buffering it, just scan for its newline.
+      discarding = true;
+      buffer_.clear();
+    }
+    const ssize_t n = ::read(in_fd_, chunk, sizeof chunk);
+    if (n > 0) {
+      if (discarding) {
+        const char* p = static_cast<const char*>(
+            std::memchr(chunk, '\n', static_cast<std::size_t>(n)));
+        if (p != nullptr) {
+          buffer_.assign(p + 1, static_cast<std::size_t>(chunk + n - (p + 1)));
+          return ReadStatus::TooLong;
+        }
+        continue;
+      }
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    // EOF or hard error: a trailing unterminated fragment is dropped —
+    // the peer hung up mid-frame, there is nobody to answer.
+    return ReadStatus::Eof;
+  }
+}
+
+bool FdTransport::write_line(const std::string& line) {
+  std::scoped_lock lock(write_mutex_);
+  if (write_failed_) return false;
+  // One contiguous buffer per frame so concurrent responders cannot
+  // interleave bytes even if the kernel splits the write.
+  std::string frame;
+  frame.reserve(line.size() + 1);
+  frame = line;
+  frame += '\n';
+  std::size_t off = 0;
+  while (off < frame.size()) {
+    const ssize_t n = ::write(out_fd_, frame.data() + off, frame.size() - off);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    write_failed_ = true;  // EPIPE et al: peer is gone
+    return false;
+  }
+  return true;
+}
+
+void FdTransport::interrupt() {
+  // Sockets: unblocks a parked read and fails future writes. ENOTSOCK
+  // (pipes, stdio) is fine — those readers unblock at peer close/EOF.
+  ::shutdown(in_fd_, SHUT_RDWR);
+  if (out_fd_ != in_fd_) ::shutdown(out_fd_, SHUT_RDWR);
+}
+
+Session::Session(Server& server, int in_fd, int out_fd,
+                 std::size_t max_frame_bytes)
+    : server_(server), transport_(in_fd, out_fd, max_frame_bytes) {}
+
+void Session::run_reader(bool stop_on_shutdown) {
+  std::string line;
+  while (true) {
+    const FdTransport::ReadStatus status = transport_.read_line(line);
+    if (status == FdTransport::ReadStatus::Eof) break;
+    if (status == FdTransport::ReadStatus::TooLong) {
+      server_.note_frame_too_long(shared_from_this());
+      continue;
+    }
+    if (!line.empty()) {  // blank keepalive lines are legal
+      server_.handle_frame(shared_from_this(), line);
+    }
+    if (stop_on_shutdown && server_.shutdown_requested()) break;
+  }
+  // Read-side EOF does NOT poison the session: a stdio client may close
+  // stdin after its last request and still collect responses on stdout
+  // (the CI smoke workload does exactly this). Only a failed write marks
+  // the peer gone.
+}
+
+bool Session::send_line(const std::string& line) {
+  if (peer_gone_.load(std::memory_order_relaxed)) return false;
+  if (!transport_.write_line(line)) {
+    peer_gone_.store(true, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace graffix::serve

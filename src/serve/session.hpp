@@ -1,0 +1,80 @@
+// One connected client of the serve daemon.
+//
+// A Session wraps a line-framed transport over a pair of file
+// descriptors (a socketpair end, a TCP connection, or stdin/stdout) and
+// a reader loop that hands each frame to the Server. Responses may be
+// written by any worker thread — the transport serializes writes per
+// line — and a failed write (peer disconnected mid-request) poisons the
+// session instead of raising SIGPIPE or tearing the daemon down.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace graffix::serve {
+
+class Server;
+
+/// Buffered line IO over raw fds with the frame cap enforced during the
+/// read: an overlong line is drained to its newline and reported as
+/// TooLong without ever being buffered whole.
+class FdTransport {
+ public:
+  /// Takes ownership of both fds (closed on destruction; in == out is
+  /// fine for sockets).
+  FdTransport(int in_fd, int out_fd, std::size_t max_frame_bytes);
+  ~FdTransport();
+  FdTransport(const FdTransport&) = delete;
+  FdTransport& operator=(const FdTransport&) = delete;
+
+  enum class ReadStatus { Line, TooLong, Eof };
+
+  /// Blocks for the next newline-terminated frame (newline stripped).
+  ReadStatus read_line(std::string& out);
+
+  /// Writes line + '\n' atomically w.r.t. other writers. False once the
+  /// peer is gone.
+  bool write_line(const std::string& line);
+
+  /// Unblocks a parked reader where the fd supports it (socket
+  /// shutdown); a no-op for pipes, whose readers unblock at peer close.
+  void interrupt();
+
+ private:
+  int in_fd_;
+  int out_fd_;
+  std::size_t max_frame_;
+  std::string buffer_;  // read-ahead; never exceeds max_frame_ + one chunk
+  std::mutex write_mutex_;
+  bool write_failed_ = false;
+};
+
+class Session : public std::enable_shared_from_this<Session> {
+ public:
+  Session(Server& server, int in_fd, int out_fd, std::size_t max_frame_bytes);
+
+  /// Reads frames until EOF/interrupt, dispatching each to the server.
+  /// Runs on a dedicated thread (serve_fds/TCP) or the caller
+  /// (run_stdio). With stop_on_shutdown the loop also exits after a
+  /// frame leaves the server in shutdown-requested state — the stdio
+  /// reader IS the handler thread, so the check is race-free there.
+  void run_reader(bool stop_on_shutdown = false);
+
+  /// False when the peer has disconnected (response dropped).
+  bool send_line(const std::string& line);
+
+  void interrupt() { transport_.interrupt(); }
+  [[nodiscard]] bool peer_gone() const {
+    return peer_gone_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Server& server_;
+  FdTransport transport_;
+  std::atomic<bool> peer_gone_{false};
+};
+
+}  // namespace graffix::serve

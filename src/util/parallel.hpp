@@ -53,6 +53,19 @@ bool in_parallel();
 /// bit-identical either way (DESIGN.md §7), so it only affects speed.
 int effective_workers();
 
+/// RAII thread-count pin: sets num_threads(n) for the enclosing scope and
+/// restores the hardware default (0) on exit. The determinism tests sweep
+/// 1/2/8 workers around code that can ASSERT out mid-scope; a raw
+/// set_num_threads pair leaks the pin past the failing test, poisoning
+/// every later test in the binary.
+class ScopedNumThreads {
+ public:
+  explicit ScopedNumThreads(int n) { set_num_threads(n); }
+  ~ScopedNumThreads() { set_num_threads(0); }
+  ScopedNumThreads(const ScopedNumThreads&) = delete;
+  ScopedNumThreads& operator=(const ScopedNumThreads&) = delete;
+};
+
 namespace detail {
 
 /// Type-erased task body: invoked as task(ctx, index) for each claimed

@@ -1,0 +1,100 @@
+// Shared harness for the serve-layer tests: an in-process line client
+// over a socketpair end, plus response collection helpers. Tests drive a
+// real Server through the same byte protocol external clients use.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "serve/server.hpp"
+
+namespace graffix::serve::testing {
+
+/// Blocking line-framed client over one socket fd.
+class LineClient {
+ public:
+  explicit LineClient(int fd) : fd_(fd) {}
+  ~LineClient() { close_all(); }
+  LineClient(const LineClient&) = delete;
+  LineClient& operator=(const LineClient&) = delete;
+
+  void send_raw(const std::string& bytes) {
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n = ::write(fd_, bytes.data() + off, bytes.size() - off);
+      if (n <= 0) break;
+      off += static_cast<std::size_t>(n);
+    }
+  }
+
+  void send(const std::string& line) { send_raw(line + "\n"); }
+
+  /// Blocks for the next response line; false on EOF.
+  bool recv_line(std::string& out) {
+    while (true) {
+      const std::size_t nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        out.assign(buffer_, 0, nl);
+        buffer_.erase(0, nl + 1);
+        return true;
+      }
+      char chunk[4096];
+      const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+      if (n <= 0) return false;
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  std::string recv_or_die() {
+    std::string line;
+    EXPECT_TRUE(recv_line(line)) << "server closed the connection";
+    return line;
+  }
+
+  /// Reads n response lines and keys them by their "id" field.
+  std::map<std::uint64_t, std::string> recv_by_id(std::size_t n) {
+    std::map<std::uint64_t, std::string> out;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::string line;
+      if (!recv_line(line)) break;
+      out[extract_id(line)] = line;
+    }
+    return out;
+  }
+
+  static std::uint64_t extract_id(const std::string& line) {
+    unsigned long long id = 0;
+    std::sscanf(line.c_str(), "{\"id\":%llu", &id);
+    return id;
+  }
+
+  void shutdown_write() { ::shutdown(fd_, SHUT_WR); }
+
+  void close_all() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+ private:
+  int fd_;
+  std::string buffer_;
+};
+
+/// Connects a LineClient to the server via a socketpair.
+inline std::unique_ptr<LineClient> connect_client(Server& server) {
+  int sv[2] = {-1, -1};
+  EXPECT_EQ(0, ::socketpair(AF_UNIX, SOCK_STREAM, 0, sv));
+  server.serve_fds(sv[0], sv[0]);
+  return std::make_unique<LineClient>(sv[1]);
+}
+
+}  // namespace graffix::serve::testing

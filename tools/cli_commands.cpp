@@ -7,6 +7,7 @@
 
 #include "algorithms/bc.hpp"
 #include "core/graffix.hpp"
+#include "serve/server.hpp"
 
 namespace graffix::cli {
 
@@ -410,6 +411,37 @@ int cmd_compare(const Args& args) {
   return 0;
 }
 
+int cmd_serve(const Args& args) {
+  if (args.positional.empty()) die("serve needs a graph file or preset name");
+  Csr graph = load_graph(args, args.positional[0]);
+  serve::ServerConfig config;
+  config.queue_capacity =
+      static_cast<std::size_t>(args.get_int("queue", 1024));
+  config.max_batch_lanes =
+      static_cast<std::uint32_t>(args.get_int("lanes", serve::kMaxBatchLanes));
+  config.default_deadline_ms = args.get_double("deadline-ms", 0.0);
+  std::fprintf(stderr,
+               "graffix serve: %u nodes, %llu edges resident; reading "
+               "stdin (op: query/stats/transform/ping/shutdown)\n",
+               graph.num_nodes(),
+               static_cast<unsigned long long>(graph.num_edges()));
+  serve::Server server(std::move(graph), config);
+  server.start();
+  const long port_arg = args.get_int("port", -1);
+  if (port_arg >= 0) {
+    const std::uint16_t port =
+        server.listen_tcp(static_cast<std::uint16_t>(port_arg));
+    if (port == 0) die("failed to bind a loopback TCP port");
+    std::fprintf(stderr, "graffix serve: listening on 127.0.0.1:%u\n", port);
+  }
+  server.run_stdio();
+  server.stop();
+  // Shutdown report: the final metrics line goes to stderr so stdout
+  // stays a pure response stream for scripted clients.
+  std::fprintf(stderr, "%s\n", server.stats_json(0).c_str());
+  return 0;
+}
+
 int cmd_help(const Args&) {
   std::puts(
       "graffix — approximate GPU graph-processing transforms (ICPP'20)\n"
@@ -423,6 +455,9 @@ int cmd_help(const Args&) {
       "  run       <graph|preset> --algorithm A [--technique T]\n"
       "  compare   <graph|preset> [--algorithm A]  all techniques at once\n"
       "            [--trace out.csv]  per-iteration stats timeline\n"
+      "  serve     <graph|preset> [--port P] [--queue N] [--lanes K]\n"
+      "            [--deadline-ms D]  resident daemon, JSON lines on\n"
+      "            stdin/stdout (see DESIGN.md \u00a710)\n"
       "\n"
       "graphs: path (.bin graffix binary, .gr DIMACS, .mtx MatrixMarket,\n"
       "        else edge list)\n"

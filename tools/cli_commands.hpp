@@ -55,6 +55,9 @@ int cmd_run(const Args& args);
 /// Runs one algorithm under every technique at the paper-default knobs
 /// and prints a comparison table.
 int cmd_compare(const Args& args);
+/// Resident daemon: line-delimited JSON protocol on stdin/stdout (and
+/// optionally a local TCP port), serving queries against the loaded graph.
+int cmd_serve(const Args& args);
 int cmd_help(const Args& args);
 
 }  // namespace graffix::cli

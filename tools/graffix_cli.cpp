@@ -10,6 +10,7 @@ int main(int argc, char** argv) {
   if (args.command == "transform") return cmd_transform(args);
   if (args.command == "run") return cmd_run(args);
   if (args.command == "compare") return cmd_compare(args);
+  if (args.command == "serve") return cmd_serve(args);
   if (args.command == "help" || args.command == "--help") {
     return cmd_help(args);
   }
