@@ -78,10 +78,14 @@ std::vector<double> betweenness_centrality(const Csr& graph,
         [&](std::size_t blk) {
           auto& local_bc = block_bc[blk - wave_lo];
           local_bc.assign(slots, 0.0);
+          // graffix-lint: allow(R6) per-block BFS scratch amortized over 32 sources; pooling across blocks would share state between concurrent tasks
           std::vector<NodeId> level(slots);
+          // graffix-lint: allow(R6) per-block scratch, same amortization as `level` above
           std::vector<double> sigma(slots);
+          // graffix-lint: allow(R6) per-block scratch, same amortization as `level` above
           std::vector<double> delta(slots);
           std::vector<NodeId> order;
+          // graffix-lint: allow(R6) one reserve per 32-source block; the per-source push_backs in brandes_source stay within it
           order.reserve(slots);
           const std::size_t lo = blk * kSourcesPerBlock;
           const std::size_t hi =

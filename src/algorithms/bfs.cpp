@@ -37,6 +37,7 @@ std::vector<NodeId> parallel_bfs(const Csr& graph, NodeId source) {
           const NodeId u = frontier[i];
           for (NodeId v : graph.neighbors(u)) {
             if (level[v] == kInvalidNode && next_mask.set(v)) {
+              // graffix-lint: allow(R5) only the winner of the next_mask CAS claim writes level[v], and every candidate writer this wave carries the same depth
               level[v] = depth;
               seg.push_back(v);
             }

@@ -397,8 +397,17 @@ void Server::process_wave(std::vector<Job>& wave) {
   // Units run concurrently on the persistent pool; the engine sweeps
   // inside each unit see in_parallel() and stay serial, so there is
   // exactly one layer of parallelism — across units, never within.
+  // A throwing unit answers its own jobs instead of taking down the
+  // daemon (or, worse, leaving their sessions waiting forever).
   parallel_for_each_dynamic(units, [&](const std::vector<Job*>& unit, std::size_t) {
-    run_query_unit(unit);
+    try {
+      run_query_unit(unit);
+    } catch (const std::exception& e) {
+      for (Job* job : unit) {
+        respond_error(job->session, job->req.id, ErrorCode::Internal,
+                      std::string("internal error: ") + e.what());
+      }
+    }
   });
 }
 
@@ -414,6 +423,7 @@ void Server::run_query_unit(const std::vector<Job*>& unit) {
   // schedule). Requests already past their deadline are answered
   // without joining the batch.
   std::vector<Job*> live;
+  // graffix-lint: allow(R6) per-unit staging list bounded by max_batch_lanes; pool workers have no arena of their own
   live.reserve(unit.size());
   for (Job* job : unit) {
     if (job->deadline_ms > 0.0 && job->age.millis() > job->deadline_ms) {
@@ -421,11 +431,13 @@ void Server::run_query_unit(const std::vector<Job*>& unit) {
                     "deadline expired before execution");
       continue;
     }
+    // graffix-lint: allow(R6) append stays within the reserve above
     live.push_back(job);
   }
   if (live.empty()) return;
 
   std::vector<LaneSpec> lanes;
+  // graffix-lint: allow(R6) per-unit lane specs bounded by max_batch_lanes; sized once per unit
   lanes.reserve(live.size());
   for (Job* job : live) {
     LaneSpec spec;
@@ -436,6 +448,7 @@ void Server::run_query_unit(const std::vector<Job*>& unit) {
         return job->age.millis() > job->deadline_ms;
       };
     }
+    // graffix-lint: allow(R6) append stays within the reserve above
     lanes.push_back(std::move(spec));
   }
 
@@ -596,6 +609,7 @@ std::string Server::stats_json(std::uint64_t id) const {
   w.field_double("p99_ms", m.p99_ms);
   w.open_object("errors_by_code");
   for (const auto& [code, count] : m.errors_by_code) {
+    // graffix-lint: allow(R7) keys are error_code_name() literals drawn from a std::map, so the emit order is the fixed lexicographic one
     w.field_u64(code, count);
   }
   w.close_object();

@@ -442,6 +442,7 @@ class Engine {
       return max_len > 0;
     };
 
+    // graffix-lint: allow(R6) vector-of-vectors (inner lists keep their capacity across sweeps); the arena only serves flat trivially-copyable scratch
     if (chunk_live_.size() < n_chunks) chunk_live_.resize(n_chunks);
 
     // ---- Fused serial path ----------------------------------------------
@@ -458,6 +459,7 @@ class Engine {
       for (std::size_t b = 0; b < n_blocks; ++b) {
         if (eval_gate(b)) live.push_back(b);
       }
+      // graffix-lint: allow(R6) SweepScratch owns nested buffers (non-trivial); grows once to the worker/chunk count, then steady-state
       if (scratch_.empty()) scratch_.resize(1);
       SweepScratch& sc = scratch_[0];
       sc.ensure(ws, config_.shared_banks);
@@ -469,6 +471,7 @@ class Engine {
     }
 
     // ---- Phase A: gate evaluation + memory accounting -------------------
+    // graffix-lint: allow(R6) SweepScratch owns nested buffers (non-trivial); grows once to the worker/chunk count, then steady-state
     if (scratch_.size() < n_chunks) scratch_.resize(n_chunks);
     chunk_stats_.assign(n_chunks, KernelStats{});
     const std::size_t blocks_per = n_blocks / n_chunks;
@@ -740,6 +743,7 @@ class Engine {
               if (!((meta.bits >> l) & 1) || j >= item.edge_count) continue;
               const EdgeId e = item.edge_begin + j;
               const NodeId v = targets[e];
+              // graffix-lint: allow(R5) r walks [blk_rec_base_[b], +meta.recs), and blocks are partitioned across replay chunks — record ranges are disjoint by construction
               rec_[r] = {item.src, v, has_weights ? weights[e] : Weight{1}};
               cnt[by_dst ? v : item.src] += 1;
               ++r;
@@ -873,9 +877,9 @@ class Engine {
 
   const Csr* graph_;
   SimConfig config_;
-  std::vector<BlockMeta> block_meta_;  // per warp block, one sweep's worth
+  ArenaVector<BlockMeta> block_meta_;  // per warp block, one sweep's worth
   std::vector<std::vector<std::size_t>> chunk_live_;  // live block ids
-  std::vector<KernelStats> chunk_stats_;
+  ArenaVector<KernelStats> chunk_stats_;
   std::vector<SweepScratch> scratch_;
   // Grouped-replay scratch; persistent across sweeps to amortize
   // allocation (resize keeps capacity in steady state) and arena-pooled
@@ -889,7 +893,7 @@ class Engine {
   ArenaVector<std::size_t> absorb_split_;
   ArenaVector<std::size_t> blk_rec_base_;
   ArenaVector<std::size_t> chunk_rec_begin_;
-  std::vector<KernelStats> replay_stats_;
+  ArenaVector<KernelStats> replay_stats_;
   std::uint64_t grouped_replays_ = 0;
   std::size_t chunks_override_ = 0;  // testing only; 0 = automatic
   bool in_sweep_ = false;            // reentrancy guard

@@ -29,6 +29,7 @@ std::size_t finite_mean_impl(const ReplicaMap& map, std::span<T> attr) {
     if (finite == 0) return;
     merges.fetch_add(1, std::memory_order_relaxed);
     const T merged = static_cast<T>(sum / static_cast<double>(finite));
+    // graffix-lint: allow(R5) replica groups partition the slot space, so no two tasks touch the same attr[s]
     for (NodeId s : group) attr[s] = merged;
   });
   return merges.load();

@@ -164,9 +164,10 @@ ReplicationResult replicate_into_holes(const Csr& renumbered,
         }
       }
       std::vector<std::pair<NodeId, NodeId>> ranked;  // (chunk, score)
+      // graffix-lint: allow(R6) per-chunk ranking scratch, bounded by the distinct parent-chunk count; lives only for this task
       ranked.reserve(score.size());
       // graffix-lint: allow(R2) insertion order is fixed by the total-order sort on (score desc, chunk asc) just below
-      for (const auto& [pc, sc] : score) ranked.emplace_back(pc, sc);
+      for (const auto& [pc, sc] : score) ranked.emplace_back(pc, sc);  // graffix-lint: allow(R6) append stays within the reserve above
       // graffix-lint: allow(R4) comparator is a total order: chunk ids are unique map keys, so the (score desc, chunk asc) tie-break never ties
       std::sort(ranked.begin(), ranked.end(),
                 [](const auto& a, const auto& b) {

@@ -1,0 +1,297 @@
+// Unit tests for the graffix-lint lexer layer (tools/lint/lexer.hpp):
+// the phase-2 line splicer, the literal/comment scanner, and the token
+// stream the parse layer consumes. Every corner documented in the
+// header is pinned here: raw strings with custom delimiters, the
+// non-nesting of block comments, `//` adjacent to string literals,
+// digit separators vs char literals, and backslash-newline splicing
+// (including its suspension inside raw strings).
+#include "lexer.hpp"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace lint = graffix::lint;
+
+namespace {
+
+// Joins the code text of every scanned line — convenient for asserting
+// on what the rule layer "sees" without caring about line boundaries.
+std::string all_code(const std::vector<lint::ScannedLine>& lines) {
+  std::string out;
+  for (const auto& l : lines) {
+    out += l.code;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string all_comments(const std::vector<lint::ScannedLine>& lines) {
+  std::string out;
+  for (const auto& l : lines) {
+    out += l.comment;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace
+
+// --- Basic scanning -------------------------------------------------------
+
+TEST(LexerScan, SplitsCodeAndLineComment) {
+  const auto lines = lint::scan_lines("int x = 1;  // trailing note\n");
+  ASSERT_GE(lines.size(), 1u);
+  EXPECT_EQ(lines[0].code.substr(0, 10), "int x = 1;");
+  EXPECT_NE(lines[0].comment.find("trailing note"), std::string::npos);
+  EXPECT_EQ(lines[0].code.find("trailing"), std::string::npos);
+}
+
+TEST(LexerScan, StringContentsAreBlanked) {
+  const auto lines = lint::scan_lines(
+      "const char* s = \"#pragma omp parallel for\";\n");
+  ASSERT_GE(lines.size(), 1u);
+  // The delimiters survive (so the tokenizer still sees a string token)
+  // but the payload is gone: quoted rule patterns can never fire.
+  EXPECT_EQ(lines[0].code.find("pragma"), std::string::npos);
+  EXPECT_NE(lines[0].code.find('"'), std::string::npos);
+}
+
+// --- Raw strings ----------------------------------------------------------
+
+TEST(LexerRawString, CustomDelimiterIsHonored) {
+  // The `)"` inside the literal must NOT close it — only `)xy"` does.
+  const auto lines = lint::scan_lines(
+      "auto s = R\"xy(contains )\" and rand() too)xy\"; int after = rand();\n");
+  ASSERT_GE(lines.size(), 1u);
+  // Payload (including the embedded rand()) is blanked...
+  EXPECT_EQ(lines[0].code.find("contains"), std::string::npos);
+  // ...but code after the true terminator is scanned normally.
+  EXPECT_NE(lines[0].code.find("after"), std::string::npos);
+  EXPECT_NE(lines[0].code.find("rand"), std::string::npos);
+}
+
+TEST(LexerRawString, MultiLinePayloadIsBlanked) {
+  const auto lines = lint::scan_lines(
+      "auto s = R\"(line one\n"
+      "#pragma omp parallel for\n"
+      "line three)\"; int tail = 0;\n");
+  ASSERT_GE(lines.size(), 3u);
+  const std::string code = all_code(lines);
+  EXPECT_EQ(code.find("pragma"), std::string::npos);
+  EXPECT_NE(code.find("tail"), std::string::npos);
+}
+
+TEST(LexerRawString, ReadsAsOneStringToken) {
+  const auto lines = lint::scan_lines("auto s = R\"xy(payload)xy\";\n");
+  const auto toks = lint::tokenize(lines);
+  int strings = 0;
+  for (const auto& t : toks) {
+    if (t.kind == lint::Token::Kind::String) ++strings;
+  }
+  EXPECT_EQ(strings, 1);
+}
+
+// --- Comments -------------------------------------------------------------
+
+TEST(LexerComment, BlockCommentsDoNotNest) {
+  // Per the standard, the first */ ends the comment regardless of any
+  // interior /* — so `still_code` must be scanned as code.
+  const auto lines =
+      lint::scan_lines("/* outer /* inner */ still_code = 1; */\n");
+  ASSERT_GE(lines.size(), 1u);
+  EXPECT_NE(lines[0].code.find("still_code"), std::string::npos);
+}
+
+TEST(LexerComment, MultiLineBlockCommentIsStripped) {
+  const auto lines = lint::scan_lines(
+      "int a = 1; /* spans\n"
+      "two lines */ int b = 2;\n");
+  ASSERT_GE(lines.size(), 2u);
+  EXPECT_NE(lines[0].code.find("a"), std::string::npos);
+  EXPECT_EQ(lines[1].code.find("two"), std::string::npos);
+  EXPECT_NE(lines[1].code.find("b"), std::string::npos);
+}
+
+TEST(LexerComment, SlashSlashAfterClosingQuoteIsAComment) {
+  const auto lines =
+      lint::scan_lines("const char* s = \"text\"; // after the literal\n");
+  ASSERT_GE(lines.size(), 1u);
+  EXPECT_NE(lines[0].comment.find("after the literal"), std::string::npos);
+  EXPECT_EQ(lines[0].code.find("after"), std::string::npos);
+}
+
+TEST(LexerComment, SlashSlashInsideLiteralIsNotAComment) {
+  const auto lines =
+      lint::scan_lines("const char* url = \"http://example\"; int x = 1;\n");
+  ASSERT_GE(lines.size(), 1u);
+  // Nothing was treated as a comment, and the code after the literal
+  // survives.
+  EXPECT_TRUE(lines[0].comment.empty());
+  EXPECT_NE(lines[0].code.find('x'), std::string::npos);
+}
+
+// --- Char literals and digit separators -----------------------------------
+
+TEST(LexerDigits, SeparatorDoesNotOpenCharLiteral) {
+  // If the ' in 1'000'000 opened a char literal, the ; would be
+  // swallowed and `y` would land inside a literal.
+  const auto lines = lint::scan_lines("int x = 1'000'000; int y = 2;\n");
+  ASSERT_GE(lines.size(), 1u);
+  EXPECT_NE(lines[0].code.find('y'), std::string::npos);
+  const auto toks = lint::tokenize(lines);
+  for (const auto& t : toks) {
+    EXPECT_NE(t.kind, lint::Token::Kind::CharLit) << t.text;
+  }
+}
+
+TEST(LexerDigits, PrefixedCharLiteralStillScans) {
+  // u8'a' IS a char literal even though the ' follows an identifier
+  // character — the prefix rule must not be confused with separators.
+  const auto lines = lint::scan_lines("auto c = u8'a'; int z = 3;\n");
+  ASSERT_GE(lines.size(), 1u);
+  // If the ' were treated as a digit separator the literal would leak
+  // into the code text; as a char literal its payload is blanked and
+  // the statement after it scans normally.
+  EXPECT_NE(lines[0].code.find('z'), std::string::npos);
+  const auto toks = lint::tokenize(lines);
+  int char_lits = 0;
+  for (const auto& t : toks) {
+    if (t.kind == lint::Token::Kind::CharLit) ++char_lits;
+  }
+  EXPECT_EQ(char_lits, 1);
+}
+
+TEST(LexerDigits, EscapedQuoteInCharLiteral) {
+  const auto lines = lint::scan_lines("char q = '\\''; int w = 4;\n");
+  ASSERT_GE(lines.size(), 1u);
+  EXPECT_NE(lines[0].code.find('w'), std::string::npos);
+}
+
+// --- Phase-2 splicing -----------------------------------------------------
+
+TEST(LexerSplice, ContinuedPragmaIsOneLogicalLine) {
+  const auto lines = lint::scan_lines(
+      "#pragma omp \\\n"
+      "    parallel for\n"
+      "int x = 0;\n");
+  ASSERT_GE(lines.size(), 3u);
+  // Spliced content attributes to the FIRST physical line...
+  EXPECT_NE(lines[0].code.find("parallel for"), std::string::npos);
+  // ...and the continued physical line is left empty so numbering stays
+  // 1:1 with the file.
+  EXPECT_TRUE(lines[1].code.empty());
+  EXPECT_NE(lines[2].code.find('x'), std::string::npos);
+}
+
+TEST(LexerSplice, SplicedLineCommentSwallowsNextLine) {
+  // A line comment ending in a backslash continues onto the next
+  // physical line (a classic gotcha) — `hidden` must NOT be code.
+  const auto lines = lint::scan_lines(
+      "// comment continues \\\n"
+      "int hidden = 1;\n"
+      "int visible = 2;\n");
+  ASSERT_GE(lines.size(), 3u);
+  EXPECT_EQ(all_code(lines).find("hidden"), std::string::npos);
+  EXPECT_NE(all_code(lines).find("visible"), std::string::npos);
+  EXPECT_NE(all_comments(lines).find("hidden"), std::string::npos);
+}
+
+TEST(LexerSplice, RawStringSuspendsSplicing) {
+  // Inside a raw string a backslash-newline is literal content, not a
+  // splice — the terminator on the next line must still close it.
+  const auto lines = lint::scan_lines(
+      "auto s = R\"(line with trailing backslash \\\n"
+      ")\"; int tail = 5;\n");
+  ASSERT_GE(lines.size(), 2u);
+  EXPECT_NE(all_code(lines).find("tail"), std::string::npos);
+}
+
+TEST(LexerSplice, SplicedStringLiteralStaysBlanked) {
+  const auto lines = lint::scan_lines(
+      "const char* s = \"first \\\n"
+      "second\"; int done = 6;\n");
+  ASSERT_GE(lines.size(), 2u);
+  const std::string code = all_code(lines);
+  EXPECT_EQ(code.find("first"), std::string::npos);
+  EXPECT_EQ(code.find("second"), std::string::npos);
+  EXPECT_NE(code.find("done"), std::string::npos);
+}
+
+// --- Tokenization ---------------------------------------------------------
+
+TEST(LexerTokens, KindsAndOrder) {
+  const auto toks =
+      lint::tokenize(lint::scan_lines("int n = 42; f(\"s\");\n"));
+  ASSERT_GE(toks.size(), 9u);
+  EXPECT_EQ(toks[0].kind, lint::Token::Kind::Ident);
+  EXPECT_EQ(toks[0].text, "int");
+  EXPECT_EQ(toks[1].text, "n");
+  EXPECT_EQ(toks[2].text, "=");
+  EXPECT_EQ(toks[3].kind, lint::Token::Kind::Number);
+  EXPECT_EQ(toks[3].text, "42");
+}
+
+TEST(LexerTokens, PreprocessorLinesAreSkipped) {
+  const auto toks = lint::tokenize(lint::scan_lines(
+      "#include <vector>\n"
+      "#if defined(X)\n"
+      "int kept = 1;\n"
+      "#endif\n"));
+  // Only the non-pp line contributes tokens: pp-conditionals would
+  // otherwise unbalance the parse layer's brace matching.
+  ASSERT_EQ(toks.size(), 5u);
+  EXPECT_EQ(toks[0].text, "int");
+  EXPECT_EQ(toks[1].text, "kept");
+}
+
+TEST(LexerTokens, LongestMatchPunctuation) {
+  const auto toks =
+      lint::tokenize(lint::scan_lines("a <<= b; c->d; e <=> f; g::h;\n"));
+  std::vector<std::string> puncts;
+  for (const auto& t : toks) {
+    if (t.kind == lint::Token::Kind::Punct) puncts.push_back(t.text);
+  }
+  ASSERT_GE(puncts.size(), 4u);
+  EXPECT_EQ(puncts[0], "<<=");
+  EXPECT_EQ(puncts[1], ";");
+  EXPECT_EQ(puncts[2], "->");
+  // <=> then ::
+  bool saw_spaceship = false, saw_scope = false;
+  for (const auto& p : puncts) {
+    if (p == "<=>") saw_spaceship = true;
+    if (p == "::") saw_scope = true;
+  }
+  EXPECT_TRUE(saw_spaceship);
+  EXPECT_TRUE(saw_scope);
+}
+
+TEST(LexerTokens, LineNumbersTrackPhysicalLines) {
+  const auto toks = lint::tokenize(lint::scan_lines(
+      "int a;\n"
+      "\n"
+      "int b;\n"));
+  ASSERT_EQ(toks.size(), 6u);
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[3].line, 3);
+}
+
+TEST(LexerTokens, SplicedTokensReportFirstPhysicalLine) {
+  const auto toks = lint::tokenize(lint::scan_lines(
+      "int ab\\\n"
+      "cd = 1;\n"
+      "int next = 2;\n"));
+  // `abcd` is one identifier on logical line 1; `next` stays on line 3.
+  ASSERT_GE(toks.size(), 5u);
+  EXPECT_EQ(toks[1].text, "abcd");
+  EXPECT_EQ(toks[1].line, 1);
+  bool found_next = false;
+  for (const auto& t : toks) {
+    if (t.text == "next") {
+      EXPECT_EQ(t.line, 3);
+      found_next = true;
+    }
+  }
+  EXPECT_TRUE(found_next);
+}

@@ -186,10 +186,10 @@ TEST(ParallelFor, CoversRangeExactlyOnce) {
 }
 
 TEST(ParallelFor, EmptyRangeIsNoop) {
-  bool called = false;
+  std::atomic<bool> called{false};
   parallel_for(5, 5, [&](int) { called = true; });
   parallel_for(5, 3, [&](int) { called = true; });
-  EXPECT_FALSE(called);
+  EXPECT_FALSE(called.load());
 }
 
 TEST(ParallelReduce, SumMatchesSerial) {

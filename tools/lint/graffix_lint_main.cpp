@@ -1,12 +1,14 @@
 // graffix-lint CLI.
 //
-//   graffix-lint [--report <path>] [--max-suppressions <n>] <path>...
+//   graffix-lint [--report <path>] [--json-report <path>]
+//                [--budget <file>] [--max-suppressions <n>] <path>...
 //
 // Lints every .hpp/.cpp/.h/.cc under the given paths, prints diagnostics
 // as file:line: [RULE] message, prints the suppression budget, and exits
-// non-zero on any diagnostic (or when the used-suppression count exceeds
-// --max-suppressions, default unlimited). --report additionally writes
-// the full report to a file (the CI artifact).
+// non-zero on any diagnostic (or when used suppressions exceed
+// --max-suppressions or the checked-in --budget file). --report writes
+// the text report to a file; --json-report writes the machine-readable
+// lint_report.json (both are CI artifacts).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -18,18 +20,24 @@
 
 int main(int argc, char** argv) {
   std::string report_path;
+  std::string json_report_path;
+  std::string budget_path;
   long max_suppressions = -1;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--report" && i + 1 < argc) {
       report_path = argv[++i];
+    } else if (arg == "--json-report" && i + 1 < argc) {
+      json_report_path = argv[++i];
+    } else if (arg == "--budget" && i + 1 < argc) {
+      budget_path = argv[++i];
     } else if (arg == "--max-suppressions" && i + 1 < argc) {
       max_suppressions = std::strtol(argv[++i], nullptr, 10);
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
-          "usage: graffix-lint [--report <path>] [--max-suppressions <n>] "
-          "<path>...\n");
+          "usage: graffix-lint [--report <path>] [--json-report <path>] "
+          "[--budget <file>] [--max-suppressions <n>] <path>...\n");
       return 0;
     } else {
       paths.push_back(arg);
@@ -52,11 +60,36 @@ int main(int argc, char** argv) {
     }
     out << report;
   }
+  if (!json_report_path.empty()) {
+    std::ofstream out(json_report_path);
+    if (!out) {
+      std::fprintf(stderr, "graffix-lint: cannot write JSON report to %s\n",
+                   json_report_path.c_str());
+      return 2;
+    }
+    out << graffix::lint::format_report_json(result);
+  }
 
+  int exit_code = 0;
   if (!result.diagnostics.empty()) {
     std::fprintf(stderr, "graffix-lint: %zu diagnostic(s)\n",
                  result.diagnostics.size());
-    return 1;
+    exit_code = 1;
+  }
+  if (!budget_path.empty()) {
+    graffix::lint::Budget budget;
+    std::string error;
+    if (!graffix::lint::load_budget(budget_path, budget, error)) {
+      std::fprintf(stderr, "graffix-lint: %s\n", error.c_str());
+      return 2;
+    }
+    const std::vector<std::string> violations =
+        graffix::lint::budget_violations(result, budget);
+    for (const std::string& v : violations) {
+      std::fprintf(stderr, "graffix-lint: suppression budget exceeded: %s\n",
+                   v.c_str());
+    }
+    if (!violations.empty()) exit_code = 1;
   }
   if (max_suppressions >= 0 &&
       result.suppressions.size() > static_cast<std::size_t>(max_suppressions)) {
@@ -64,7 +97,7 @@ int main(int argc, char** argv) {
                  "graffix-lint: suppression budget exceeded (%zu used > %ld "
                  "allowed)\n",
                  result.suppressions.size(), max_suppressions);
-    return 1;
+    exit_code = 1;
   }
-  return 0;
+  return exit_code;
 }

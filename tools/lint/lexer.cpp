@@ -1,0 +1,240 @@
+#include "lexer.hpp"
+
+#include <cctype>
+
+namespace graffix::lint {
+
+namespace {
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+}  // namespace
+
+std::vector<ScannedLine> scan_lines(std::string_view content) {
+  enum class State { Normal, LineComment, BlockComment, String, Char, Raw };
+  std::vector<ScannedLine> lines(1);
+  // `cur` is the LOGICAL line receiving text: a phase-2 splice pushes an
+  // empty physical line (keeping numbering) but leaves `cur` in place.
+  std::size_t cur = 0;
+  State state = State::Normal;
+  std::string raw_delim;  // raw-string closing delimiter: ")<delim>\""
+  // Last code char emitted, for digit-separator and raw-prefix decisions.
+  // Splices do not reset it: `12\<newline>'3` is still one pp-number.
+  char prev_code = '\0';
+  bool in_number = false;
+
+  auto code = [&](char c) {
+    lines[cur].code.push_back(c);
+    if (in_number) {
+      in_number = ident_char(c) || c == '.' ||
+                  ((c == '+' || c == '-') &&
+                   (prev_code == 'e' || prev_code == 'E' || prev_code == 'p' ||
+                    prev_code == 'P'));
+    } else {
+      in_number =
+          std::isdigit(static_cast<unsigned char>(c)) != 0 &&
+          !ident_char(prev_code);
+    }
+    prev_code = c;
+  };
+
+  const std::size_t n = content.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const char c = content[i];
+    const char next = i + 1 < n ? content[i + 1] : '\0';
+    // Phase-2 line splicing, everywhere except raw strings (where the
+    // standard reverts it). Applies inside ordinary strings, comments,
+    // and — the R1 gap this fixes — preprocessor directives.
+    if (c == '\\' && next == '\n' && state != State::Raw) {
+      lines.emplace_back();
+      ++i;
+      continue;
+    }
+    if (c == '\n') {
+      if (state == State::LineComment) state = State::Normal;
+      // Unterminated literals at EOL: keep state for block comments and
+      // raw strings (legitimately multi-line); reset the rest defensively.
+      if (state == State::String || state == State::Char) state = State::Normal;
+      lines.emplace_back();
+      cur = lines.size() - 1;
+      prev_code = '\0';
+      in_number = false;
+      continue;
+    }
+    switch (state) {
+      case State::Normal:
+        if (c == '/' && next == '/') {
+          state = State::LineComment;
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::BlockComment;
+          ++i;
+        } else if (c == 'R' && next == '"' && !ident_char(prev_code)) {
+          // Raw string literal R"delim( ... )delim"
+          std::size_t j = i + 2;
+          std::string delim;
+          while (j < n && content[j] != '(' && content[j] != '\n') {
+            delim.push_back(content[j]);
+            ++j;
+          }
+          if (j < n && content[j] == '(') {
+            raw_delim = ")" + delim + "\"";
+            state = State::Raw;
+            code('"');
+            i = j;
+          } else {
+            code(c);
+          }
+        } else if (c == '"') {
+          state = State::String;
+          code('"');
+        } else if (c == '\'' && in_number && ident_char(next)) {
+          // Digit separator inside a pp-number, not a char literal.
+          lines[cur].code.push_back('\'');
+          prev_code = '\'';
+        } else if (c == '\'') {
+          state = State::Char;
+          code('\'');
+        } else {
+          code(c);
+        }
+        break;
+      case State::LineComment:
+        lines[cur].comment.push_back(c);
+        break;
+      case State::BlockComment:
+        if (c == '*' && next == '/') {
+          state = State::Normal;
+          ++i;
+        } else {
+          lines[cur].comment.push_back(c);
+        }
+        break;
+      case State::String:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '"') {
+          state = State::Normal;
+          code('"');
+        }
+        break;
+      case State::Char:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          state = State::Normal;
+          code('\'');
+        }
+        break;
+      case State::Raw:
+        if (c == ')' && content.compare(i, raw_delim.size(), raw_delim) == 0) {
+          i += raw_delim.size() - 1;
+          state = State::Normal;
+          code('"');
+        }
+        break;
+    }
+  }
+  return lines;
+}
+
+namespace {
+
+// Longest-match punctuation. Three-char first, then two-char; anything
+// else is a single-char token.
+bool punct3(std::string_view s) {
+  return s == "<<=" || s == ">>=" || s == "->*" || s == "..." || s == "<=>";
+}
+
+bool punct2(std::string_view s) {
+  static constexpr std::string_view kTwo[] = {
+      "::", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=",
+      "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", ".*"};
+  for (const std::string_view t : kTwo) {
+    if (s == t) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<Token> tokenize(const std::vector<ScannedLine>& lines) {
+  std::vector<Token> toks;
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    const std::string& s = lines[li].code;
+    const int line = static_cast<int>(li) + 1;
+    const std::size_t n = s.size();
+    std::size_t ws = 0;
+    while (ws < n && std::isspace(static_cast<unsigned char>(s[ws]))) ++ws;
+    if (ws < n && s[ws] == '#') continue;  // preprocessor line
+    std::size_t i = ws;
+    while (i < n) {
+      const char c = s[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        std::size_t j = i + 1;
+        while (j < n && ident_char(s[j])) ++j;
+        toks.push_back({Token::Kind::Ident, s.substr(i, j - i), line});
+        i = j;
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '.' && i + 1 < n &&
+           std::isdigit(static_cast<unsigned char>(s[i + 1])))) {
+        std::size_t j = i + 1;
+        while (j < n) {
+          const char d = s[j];
+          if (ident_char(d) || d == '.' || d == '\'') {
+            ++j;
+          } else if ((d == '+' || d == '-') &&
+                     (s[j - 1] == 'e' || s[j - 1] == 'E' || s[j - 1] == 'p' ||
+                      s[j - 1] == 'P')) {
+            ++j;
+          } else {
+            break;
+          }
+        }
+        toks.push_back({Token::Kind::Number, s.substr(i, j - i), line});
+        i = j;
+        continue;
+      }
+      if (c == '"') {
+        // Literals are blanked, so the closing quote (if any on this
+        // line) is the next one; a multi-line raw string leaves a lone
+        // quote that runs to end of line.
+        const std::size_t close = s.find('"', i + 1);
+        const std::size_t j = close == std::string::npos ? n : close + 1;
+        toks.push_back({Token::Kind::String, s.substr(i, j - i), line});
+        i = j;
+        continue;
+      }
+      if (c == '\'') {
+        const std::size_t close = s.find('\'', i + 1);
+        const std::size_t j = close == std::string::npos ? n : close + 1;
+        toks.push_back({Token::Kind::CharLit, s.substr(i, j - i), line});
+        i = j;
+        continue;
+      }
+      if (i + 2 < n && punct3(s.substr(i, 3))) {
+        toks.push_back({Token::Kind::Punct, s.substr(i, 3), line});
+        i += 3;
+        continue;
+      }
+      if (i + 1 < n && punct2(s.substr(i, 2))) {
+        toks.push_back({Token::Kind::Punct, s.substr(i, 2), line});
+        i += 2;
+        continue;
+      }
+      toks.push_back({Token::Kind::Punct, s.substr(i, 1), line});
+      ++i;
+    }
+  }
+  return toks;
+}
+
+}  // namespace graffix::lint
